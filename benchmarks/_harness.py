@@ -1,0 +1,82 @@
+"""Shared machinery for the reproduction benchmarks.
+
+Every figure/table of the paper has one bench module.  They share:
+
+* a process-wide cache of simulation runs, so Figure 6's Freecursive runs
+  are reused by Figures 8-10 instead of re-simulated;
+* environment knobs —
+
+  - ``REPRO_TRACE_LENGTH`` (default 4000): records per trace.  The paper
+    uses 1M warm-up + 1M measured; raise this for higher fidelity at
+    proportional runtime (pure-Python simulator).
+  - ``REPRO_WORKLOADS`` (default: all ten): comma-separated subset.
+
+* ``emit`` — prints through pytest's capture so the regenerated tables
+  always land in the console / tee'd log.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Dict, Iterable, Tuple
+
+from repro.config import DesignPoint, SystemConfig, table2_config
+from repro.sim.stats import RunResult, geometric_mean
+from repro.sim.system import run_simulation
+from repro.workloads.spec import profile_names
+
+TRACE_LENGTH = int(os.environ.get("REPRO_TRACE_LENGTH", "4000"))
+
+_workload_env = os.environ.get("REPRO_WORKLOADS", "")
+WORKLOADS: Tuple[str, ...] = (tuple(name for name in _workload_env.split(",")
+                                    if name)
+                              or profile_names())
+
+_RUN_CACHE: Dict[tuple, RunResult] = {}
+
+#: Reproduction tables accumulate here; the benchmarks/conftest.py
+#: terminal-summary hook prints them after the pytest-benchmark table
+#: (terminal summary is never captured) and writes them to
+#: benchmarks/results/reproduction_tables.txt.
+EMITTED_LINES = []
+
+
+def emit(text: str = "") -> None:
+    """Record one line of a regenerated paper table."""
+    EMITTED_LINES.append(text)
+    print(text)
+
+
+def run_cached(design: DesignPoint, workload: str, channels: int = 1,
+               oram_cache_enabled: bool = True) -> RunResult:
+    """Run (or fetch) one simulation from the shared benchmark cache."""
+    key = (design, workload, channels, oram_cache_enabled, TRACE_LENGTH)
+    if key not in _RUN_CACHE:
+        config = table2_config(design, channels=channels,
+                               oram_cache_enabled=oram_cache_enabled)
+        _RUN_CACHE[key] = run_simulation(config, workload,
+                                         trace_length=TRACE_LENGTH)
+    return _RUN_CACHE[key]
+
+
+def normalized_row(workload: str, baseline: RunResult,
+                   results: Iterable[RunResult]) -> str:
+    cells = " ".join(f"{result.normalized_time(baseline):6.3f}"
+                     for result in results)
+    return f"  {workload:12s} {cells}"
+
+
+def print_header(title: str, columns: Iterable[str]) -> None:
+    emit("")
+    emit("=" * 72)
+    emit(title)
+    emit("=" * 72)
+    emit("  " + "workload".ljust(12) + " " +
+         " ".join(f"{column:>6s}" for column in columns))
+
+
+def summarize(name: str, values) -> float:
+    mean = geometric_mean(list(values))
+    emit(f"  {'geomean':12s} {mean:6.3f}   ({name})")
+    return mean

@@ -1,0 +1,53 @@
+"""Section IV-B area reproduction.
+
+Paper: "Fletcher et al. report 0.47 mm2 area for the ORAM controller in
+32nm.  Using CACTI 6.5, we measure the 8KB buffer area to be less than
+0.42 mm2 in the same technology.  Therefore, we estimate that the overall
+area overhead of an SDIMM buffer chip is less than 1 mm2."
+"""
+
+from repro.config import SdimmConfig
+from repro.energy.area import (
+    oram_controller_area_mm2,
+    sdimm_buffer_area_mm2,
+    sram_area_mm2,
+)
+
+from _harness import emit
+
+
+def test_buffer_area(benchmark):
+    def compute():
+        return {
+            "ORAM controller": oram_controller_area_mm2(32),
+            "8KB buffer SRAM": sram_area_mm2(8 * 1024, 32),
+            "SDIMM buffer total": sdimm_buffer_area_mm2(SdimmConfig(), 32),
+        }
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit("")
+    emit("=" * 72)
+    emit("SDIMM buffer chip area at 32 nm (mm^2)")
+    emit("=" * 72)
+    paper = {"ORAM controller": "0.47", "8KB buffer SRAM": "<0.42",
+             "SDIMM buffer total": "<1.0"}
+    for key, value in table.items():
+        emit(f"  {key:20s} {value:6.3f}   (paper: {paper[key]})")
+
+    assert table["ORAM controller"] == 0.47
+    assert table["8KB buffer SRAM"] <= 0.42
+    assert table["SDIMM buffer total"] < 1.0
+
+
+def test_area_scaling(benchmark):
+    """Extension: bigger stashes remain affordable on the buffer chip."""
+    def compute():
+        return {capacity: sram_area_mm2(capacity * 1024, 32)
+                for capacity in (8, 16, 32, 64)}
+
+    areas = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit("  SRAM area vs capacity: " +
+         "  ".join(f"{capacity}KB:{area:.2f}"
+                   for capacity, area in areas.items()))
+    assert areas[64] < 4.0

@@ -1,0 +1,61 @@
+"""Figure 11 reproduction: sensitivity to the number of ORAM layers.
+
+Paper: "adding more layers increases the improvements of our designs ...
+the improvement ranges from 33% to 35% for the single channel memory and
+47% to 49% for the double channel memory" (SPLIT-2 at 1ch, INDEP-SPLIT at
+2ch, sweeping tree depth; slightly larger gains without ORAM caching).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import DesignPoint, table2_config
+from repro.sim.stats import geometric_mean
+from repro.sim.system import run_simulation
+
+from _harness import TRACE_LENGTH, WORKLOADS, emit, print_header
+
+LAYER_SWEEP = (24, 26, 28, 30)
+#: depth sweeps re-simulate everything, so use a subset of workloads
+SWEEP_WORKLOADS = tuple(WORKLOADS[:3])
+
+
+def run_with_levels(design, channels, levels, workload):
+    config = table2_config(design, channels=channels)
+    config = dataclasses.replace(config,
+                                 oram=config.oram.with_levels(levels))
+    config.validate()
+    return run_simulation(config, workload, trace_length=TRACE_LENGTH)
+
+
+@pytest.mark.parametrize("channels,design", [
+    (1, DesignPoint.SPLIT_2),
+    (2, DesignPoint.INDEP_SPLIT),
+])
+def test_fig11_layer_sensitivity(benchmark, channels, design):
+    def sweep():
+        averages = {}
+        for levels in LAYER_SWEEP:
+            normalized = []
+            for workload in SWEEP_WORKLOADS:
+                baseline = run_with_levels(DesignPoint.FREECURSIVE,
+                                           channels, levels, workload)
+                sdimm = run_with_levels(design, channels, levels, workload)
+                normalized.append(sdimm.normalized_time(baseline))
+            averages[levels] = geometric_mean(normalized)
+        return averages
+
+    averages = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header(f"Figure 11 ({channels}-channel, {design.value}): "
+                 f"normalized time vs ORAM layers",
+                 [f"L{levels}" for levels in LAYER_SWEEP])
+    emit("  " + "average".ljust(12) + " " +
+         " ".join(f"{averages[levels]:6.3f}" for levels in LAYER_SWEEP))
+    emit("  (paper: improvements grow with depth; 33-35% at 1ch, "
+         "47-49% at 2ch)")
+
+    # shape: the SDIMM advantage must not shrink as the tree deepens
+    assert averages[LAYER_SWEEP[-1]] <= averages[LAYER_SWEEP[0]] + 0.02
+    assert all(value < 1.0 for value in averages.values())

@@ -1,0 +1,103 @@
+"""Figure 13 reproduction: transfer-queue overflow analysis.
+
+Figure 13a: probability a transfer queue of 16/64/256/1024 entries has
+been exceeded after up to 800K steps of the undrained random walk (paper
+points: ~97% for 16 at 100K; 91% / 70% / 10% for 64 / 256 / 1024 at 800K).
+
+Figure 13b: M/M/1/K overflow probability when an arriving block is
+drained with probability p — "even a small queue has a very small
+overflow rate if we occasionally service an incoming block".
+"""
+
+import os
+
+from repro.analysis.queueing import transfer_queue_overflow_probability
+from repro.analysis.random_walk import (
+    displacement_curve,
+    displacement_exceedance_probability,
+    first_passage_overflow_probability,
+)
+
+from _harness import emit
+
+#: Figure 13a's full 800K-step x-axis; reduce via env for quick runs.
+STEPS = int(os.environ.get("REPRO_WALK_STEPS", "800000"))
+BUFFER_SIZES = (16, 64, 256, 1024)
+DRAIN_PROBABILITIES = (0.01, 0.02, 0.05, 0.1, 0.2)
+QUEUE_CAPACITIES = (4, 8, 16, 32, 64)
+
+
+def test_fig13a_random_walk(benchmark):
+    def compute():
+        return {size: displacement_exceedance_probability(size, STEPS)
+                for size in BUFFER_SIZES}
+
+    final = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit("")
+    emit("=" * 72)
+    emit(f"Figure 13a: P(queue displacement > size) after {STEPS:,} steps")
+    emit("=" * 72)
+    emit("  size   P(exceeded)   paper@800K")
+    paper = {16: ">0.99", 64: "0.91", 256: "0.70", 1024: "0.10"}
+    for size in BUFFER_SIZES:
+        emit(f"  {size:5d}   {final[size]:10.3f}   {paper[size]:>9s}")
+
+    curve = displacement_curve(64, STEPS, points=8)
+    emit("  64-entry curve: " +
+         " ".join(f"{step // 1000}K:{probability:.2f}"
+                  for step, probability in curve))
+    from repro.report import line_chart
+    emit("")
+    emit(line_chart(
+        "  Figure 13a curves (x: steps, y: P(exceeded))",
+        {str(size): [(0, 0.0)] + displacement_curve(size, STEPS, points=10)
+         for size in BUFFER_SIZES}))
+
+    assert final[16] > 0.9
+    assert final[16] > final[64] > final[256] > final[1024]
+    if STEPS >= 800_000:
+        assert abs(final[64] - 0.91) < 0.05
+        assert abs(final[256] - 0.70) < 0.06
+        assert abs(final[1024] - 0.10) < 0.05
+
+
+def test_fig13a_first_passage_bound(benchmark):
+    """The stricter ever-overflowed metric upper-bounds the figure."""
+    steps = min(STEPS, 100_000)
+
+    def compute():
+        return first_passage_overflow_probability(16, steps)
+
+    ever = benchmark.pedantic(compute, rounds=1, iterations=1)
+    current = displacement_exceedance_probability(16, steps)
+    emit(f"  first-passage P(16-entry queue ever overflowed by "
+         f"{steps:,} steps) = {ever:.4f} >= displacement {current:.4f}")
+    assert ever >= current
+
+
+def test_fig13b_mm1k(benchmark):
+    def compute():
+        table = {}
+        for capacity in QUEUE_CAPACITIES:
+            table[capacity] = [
+                transfer_queue_overflow_probability(p, capacity)
+                for p in DRAIN_PROBABILITIES
+            ]
+        return table
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit("")
+    emit("=" * 72)
+    emit("Figure 13b: M/M/1/K overflow probability vs drain probability p")
+    emit("=" * 72)
+    emit("  K \\ p   " + "  ".join(f"{p:8.2f}" for p in DRAIN_PROBABILITIES))
+    for capacity in QUEUE_CAPACITIES:
+        emit(f"  {capacity:5d}   " +
+             "  ".join(f"{value:8.2e}" for value in table[capacity]))
+
+    # the paper's conclusion: modest p + modest K => negligible overflow
+    assert table[64][2] < 1e-5          # K=64, p=0.05
+    assert table[4][0] > table[64][0]   # larger queues overflow less
+    assert table[16][0] > table[16][-1]  # more draining overflows less

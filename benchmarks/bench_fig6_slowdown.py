@@ -1,0 +1,47 @@
+"""Figure 6 reproduction: Freecursive slowdown over a non-secure baseline.
+
+Paper: "even with caching 7 levels of ORAM in the memory controller, ORAM,
+on average, causes 8.8x and 5.2x performance loss for a single and double
+channel memory"; and "each LLC miss translates into 1.4 accessORAM
+operations on average".
+"""
+
+import pytest
+
+from repro.config import DesignPoint
+from repro.sim.stats import geometric_mean
+
+from _harness import WORKLOADS, emit, print_header, run_cached
+
+
+@pytest.mark.parametrize("channels,paper_slowdown", [(1, 8.8), (2, 5.2)])
+def test_fig6_slowdown(benchmark, channels, paper_slowdown):
+    def sweep():
+        rows = {}
+        for workload in WORKLOADS:
+            nonsecure = run_cached(DesignPoint.NONSECURE, workload,
+                                   channels)
+            freecursive = run_cached(DesignPoint.FREECURSIVE, workload,
+                                     channels)
+            rows[workload] = (
+                freecursive.execution_cycles / nonsecure.execution_cycles,
+                freecursive.accessorams_per_miss,
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header(f"Figure 6 ({channels}-channel): Freecursive slowdown "
+                 f"vs non-secure", ["slow", "ap/ms"])
+    for workload, (slowdown, accessorams) in sorted(rows.items()):
+        emit(f"  {workload:12s} {slowdown:6.1f} {accessorams:6.2f}")
+    mean = geometric_mean([slowdown for slowdown, _ in rows.values()])
+    accessoram_mean = sum(apm for _, apm in rows.values()) / len(rows)
+    emit(f"  {'geomean':12s} {mean:6.1f}        "
+         f"(paper: {paper_slowdown}x)")
+    emit(f"  mean accessORAMs per LLC miss: {accessoram_mean:.2f} "
+         f"(paper: 1.4)")
+
+    # shape assertions: ORAM costs multiples; 2ch hurts less than 1ch
+    assert mean > 3.0
+    assert 1.0 < accessoram_mean < 4.0

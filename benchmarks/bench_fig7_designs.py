@@ -1,0 +1,82 @@
+"""Figure 7 reproduction: the SDIMM design space, structurally.
+
+Figure 7 enumerates the five evaluated organizations: (a) INDEP-2,
+(b) SPLIT-2, (c) INDEP-4, (d) SPLIT-4, (e) INDEP-SPLIT.  This bench
+regenerates the diagram from the configuration/back-end layer and checks
+each design's structural invariants: SDIMM count, tree partitioning, and
+which fraction of the ORAM each SDIMM carries.
+"""
+
+from repro.config import DesignPoint, table2_config
+from repro.sim.backends import (
+    IndependentBackend,
+    IndepSplitBackend,
+    SplitBackend,
+)
+from repro.sim.system import build_backend
+
+from _harness import emit
+
+LAYOUTS = [
+    ("(a) INDEP-2", DesignPoint.INDEP_2, 1),
+    ("(b) SPLIT-2", DesignPoint.SPLIT_2, 1),
+    ("(c) INDEP-4", DesignPoint.INDEP_4, 2),
+    ("(d) SPLIT-4", DesignPoint.SPLIT_4, 2),
+    ("(e) INDEP-SPLIT", DesignPoint.INDEP_SPLIT, 2),
+]
+
+
+def describe(design, channels):
+    config = table2_config(design, channels=channels)
+    backend = build_backend(config)
+    count = config.sdimm_count
+    if isinstance(backend, IndependentBackend):
+        share = f"1/{count} ORAM each (whole subtrees)"
+        local = backend.devices[0].geometry.levels
+    elif isinstance(backend, SplitBackend):
+        share = f"1/{count} of *every bucket* each (bit slices)"
+        local = backend.devices[0].geometry.levels
+    elif isinstance(backend, IndepSplitBackend):
+        groups = len(backend.groups)
+        ways = backend.groups[0].ways
+        share = (f"{groups} groups x {ways}-way split: "
+                 f"1/{groups} ORAM per group, sliced inside")
+        local = backend.devices[0].geometry.levels
+    else:
+        raise AssertionError(design)
+    return config, backend, share, local
+
+
+def test_fig7_design_space(benchmark):
+    def regenerate():
+        return [(label, *describe(design, channels))
+                for label, design, channels in LAYOUTS]
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    emit("")
+    emit("=" * 72)
+    emit("Figure 7: SDIMM-based designs")
+    emit("=" * 72)
+    for label, config, backend, share, local_levels in rows:
+        boxes = "  ".join(f"[SDIMM {index}]"
+                          for index in range(config.sdimm_count))
+        emit(f"  {label:16s} {config.channels} channel(s)   {boxes}")
+        emit(f"  {'':16s} {share}; local tree {local_levels} levels "
+             f"(global {config.oram.levels})")
+    emit("")
+
+    by_label = {label: (config, backend, share, local)
+                for label, config, backend, share, local in rows}
+    # structural invariants of the figure
+    assert by_label["(a) INDEP-2"][0].sdimm_count == 2
+    assert by_label["(c) INDEP-4"][0].sdimm_count == 4
+    # independent designs shrink the local tree by log2(N) levels
+    config, backend, _, local = by_label["(c) INDEP-4"]
+    assert local == config.oram.levels - 2
+    # split designs keep the full tree depth on every SDIMM
+    config, backend, _, local = by_label["(d) SPLIT-4"]
+    assert local == config.oram.levels
+    # the combined design halves the tree across groups only
+    config, backend, _, local = by_label["(e) INDEP-SPLIT"]
+    assert local == config.oram.levels - 1

@@ -1,0 +1,81 @@
+"""The Section III-E motivation, measured: faster channels vs power.
+
+"The performance of the ORAM-based memory system depends on available
+bandwidth.  One way to improve bandwidth is to increase memory channel
+clock frequency.  However, DRAM chips consume more background power when
+frequency is increased." — this bench quantifies both halves by running
+the same designs on DDR3-1600 and the DDR4-2400 extension preset, then
+shows the low-power rank technique recovering the background cost.
+"""
+
+import dataclasses
+
+from repro.config import DesignPoint, DramTiming, ddr4_timing, table2_config
+from repro.energy.dram_power import DramEnergyModel
+from repro.sim.system import run_simulation
+
+from _harness import TRACE_LENGTH, WORKLOADS, emit
+
+WORKLOAD = WORKLOADS[0]
+
+
+def run_grade(design, timing, label):
+    config = table2_config(design, channels=1)
+    config = dataclasses.replace(config, timing=timing)
+    config.validate()
+    result = run_simulation(config, WORKLOAD,
+                            trace_length=TRACE_LENGTH // 2)
+    model = DramEnergyModel(config.power, config.timing,
+                            config.organization,
+                            config.cpu.cpu_cycles_per_mem_cycle)
+    energy = model.report(result)
+    wall_ns = result.execution_cycles * (timing.tck_ns / 2)
+    return {
+        "label": label,
+        "cycles": result.execution_cycles,
+        "wall_ns": wall_ns,
+        "background_pj": energy.background_pj,
+        "total_pj": energy.total_pj,
+    }
+
+
+def test_frequency_vs_power(benchmark):
+    def sweep():
+        rows = []
+        for design in (DesignPoint.FREECURSIVE, DesignPoint.INDEP_2):
+            for timing, grade in ((DramTiming(), "DDR3-1600"),
+                                  (ddr4_timing(), "DDR4-2400")):
+                row = run_grade(design, timing, f"{design.value}/{grade}")
+                rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit("")
+    emit("=" * 72)
+    emit("Channel frequency vs power (Section III-E motivation)")
+    emit("=" * 72)
+    emit(f"  {'configuration':24s} {'cycles':>12s} {'wall us':>9s} "
+         f"{'bg uJ':>8s} {'total uJ':>9s}")
+    for row in rows:
+        emit(f"  {row['label']:24s} {row['cycles']:12,} "
+             f"{row['wall_ns'] / 1e3:9.0f} "
+             f"{row['background_pj'] / 1e6:8.1f} "
+             f"{row['total_pj'] / 1e6:9.1f}")
+
+    by_label = {row["label"]: row for row in rows}
+    fc3 = by_label["freecursive/DDR3-1600"]
+    fc4 = by_label["freecursive/DDR4-2400"]
+    indep3 = by_label["indep-2/DDR3-1600"]
+    # DDR4's raw clock advantage is largely cancelled for ORAM path bursts:
+    # same-bank-group streaming paces at tCCD_L (6 x 0.833 ns = 5 ns/line,
+    # exactly DDR3's 4 x 1.25 ns).  Wall times land near parity.
+    ratio = fc4["wall_ns"] / fc3["wall_ns"]
+    assert 0.8 < ratio < 1.2, \
+        "ORAM bursts should see near-parity across speed grades"
+    # the SDIMM design with parked ranks spends far less background energy
+    # than the baseline at either speed grade
+    assert indep3["background_pj"] < 0.6 * fc3["background_pj"]
+    emit("  -> DDR4's clock advantage mostly cancels for same-bank-group "
+         "path bursts (tCCD_L pacing); the low-power rank layout, not "
+         "frequency, is what cuts the energy.")

@@ -1,0 +1,44 @@
+"""Section IV-B latency reproduction.
+
+Paper: "For the 2-channel case, the Split and Indep-Split models reduce
+memory access latency, relative to Freecursive, by 41% and 63%
+respectively."
+"""
+
+from repro.config import DesignPoint
+from repro.sim.stats import geometric_mean
+
+from _harness import WORKLOADS, emit, print_header, run_cached
+
+DESIGNS = (DesignPoint.SPLIT_4, DesignPoint.INDEP_SPLIT)
+
+
+def test_latency_reduction(benchmark):
+    def sweep():
+        rows = {}
+        for workload in WORKLOADS:
+            baseline = run_cached(DesignPoint.FREECURSIVE, workload, 2)
+            rows[workload] = [
+                run_cached(design, workload, 2).miss_latency.mean /
+                max(1.0, baseline.miss_latency.mean)
+                for design in DESIGNS
+            ]
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_header("Miss latency relative to Freecursive (2 channels)",
+                 [design.value[:7] for design in DESIGNS])
+    for workload, values in sorted(rows.items()):
+        cells = " ".join(f"{value:7.3f}" for value in values)
+        emit(f"  {workload:12s} {cells}")
+    means = [geometric_mean([rows[w][index] for w in rows])
+             for index in range(len(DESIGNS))]
+    emit(f"  {'geomean':12s} " +
+         " ".join(f"{mean:7.3f}" for mean in means))
+    emit("  (paper: SPLIT -41%, INDEP-SPLIT -63% => 0.59 / 0.37)")
+
+    split_mean, combined_mean = means
+    assert split_mean < 0.95, "Split must reduce latency"
+    assert combined_mean < split_mean, \
+        "INDEP-SPLIT must reduce latency further"

@@ -1,0 +1,62 @@
+"""Section III-E / IV-B low-power reproduction.
+
+Paper: "we evaluate our low power technique and observe no more than 4%
+performance drop as a result of higher bank conflicts" while keeping all
+but one rank per SDIMM in low-power mode and localizing each access to a
+single rank.
+"""
+
+import dataclasses
+
+from repro.config import DesignPoint, table2_config
+from repro.sim.stats import geometric_mean
+from repro.sim.system import run_simulation
+
+from _harness import TRACE_LENGTH, WORKLOADS, emit
+
+SWEEP_WORKLOADS = tuple(WORKLOADS[:4])
+
+
+def run_lowpower(workload, enabled):
+    config = table2_config(DesignPoint.INDEP_2, channels=1)
+    config = dataclasses.replace(
+        config, sdimm=dataclasses.replace(config.sdimm,
+                                          low_power_ranks=enabled))
+    return run_simulation(config, workload, trace_length=TRACE_LENGTH)
+
+
+def test_lowpower_performance_cost(benchmark):
+    def sweep():
+        ratios = {}
+        residency = {}
+        for workload in SWEEP_WORKLOADS:
+            full_power = run_lowpower(workload, enabled=False)
+            low_power = run_lowpower(workload, enabled=True)
+            ratios[workload] = (low_power.execution_cycles /
+                                full_power.execution_cycles)
+            parked = sum(entry.get("power-down", 0)
+                         for entry in low_power.rank_residencies)
+            total = sum(sum(value for key, value in entry.items()
+                            if key in ("active", "standby", "power-down",
+                                       "self-refresh"))
+                        for entry in low_power.rank_residencies)
+            residency[workload] = parked / total if total else 0.0
+        return ratios, residency
+
+    ratios, residency = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit("")
+    emit("=" * 72)
+    emit("Low-power rank technique (INDEP-2): slowdown and residency")
+    emit("=" * 72)
+    emit(f"  {'workload':12s} {'slowdown':>9s} {'parked':>8s}")
+    for workload in SWEEP_WORKLOADS:
+        emit(f"  {workload:12s} {ratios[workload]:9.3f} "
+             f"{residency[workload]:8.1%}")
+    mean = geometric_mean(list(ratios.values()))
+    emit(f"  {'geomean':12s} {mean:9.3f}")
+    emit("  (paper: no more than 4% performance drop)")
+
+    assert mean < 1.06, "low-power cost must stay in the few-percent range"
+    assert all(value > 0.4 for value in residency.values()), \
+        "most rank-time must be spent powered down"

@@ -1,0 +1,94 @@
+"""Section IV-B traffic reproduction: off-DIMM accesses vs the baseline.
+
+Paper: "For a 28-layer ORAM system with 7-layer ORAM caching, INDEP-2 and
+INDEP-4 reduce the number of off-DIMM accesses to 4.2% and 7.8% of the
+baseline ORAM, including PROBE access overheads ... These overheads drop
+to less than 3.2% when ORAM caching is not used.  For the Split
+architecture, the off-DIMM accesses are reduced to 12%."
+
+Both the analytic model and the simulator's measured bus traffic are
+reported.
+"""
+
+from repro.analysis.traffic import (
+    baseline_lines_per_access,
+    independent_traffic,
+    split_traffic,
+)
+from repro.config import DesignPoint, OramConfig, SdimmConfig
+
+from _harness import WORKLOADS, emit, run_cached
+
+ORAM = OramConfig(levels=28, cached_levels=7)
+SDIMM = SdimmConfig()
+
+
+def test_analytic_offdimm_fractions(benchmark):
+    def compute():
+        return {
+            "baseline lines/access": baseline_lines_per_access(ORAM, 7),
+            "INDEP-2 (cached)": independent_traffic(ORAM, SDIMM, 2, 7)
+            .fraction_of_baseline,
+            "INDEP-4 (cached)": independent_traffic(ORAM, SDIMM, 4, 7)
+            .fraction_of_baseline,
+            "INDEP-2 (no cache)": independent_traffic(ORAM, SDIMM, 2, 0)
+            .fraction_of_baseline,
+            "SPLIT (cached)": split_traffic(ORAM, 2, 7)
+            .fraction_of_baseline,
+        }
+
+    table = benchmark.pedantic(compute, rounds=1, iterations=1)
+
+    emit("")
+    emit("=" * 72)
+    emit("Off-DIMM traffic model (28 layers, 7 cached)")
+    emit("=" * 72)
+    paper = {
+        "baseline lines/access": "2(Z+1)L = 210",
+        "INDEP-2 (cached)": "4.2%",
+        "INDEP-4 (cached)": "7.8%",
+        "INDEP-2 (no cache)": "<3.2%",
+        "SPLIT (cached)": "12%",
+    }
+    for key, value in table.items():
+        shown = f"{value:.1%}" if value < 1 else f"{value}"
+        emit(f"  {key:24s} {shown:>8s}   (paper: {paper[key]})")
+
+    assert table["baseline lines/access"] == 210
+    assert 0.02 < table["INDEP-2 (cached)"] < 0.08
+    assert table["INDEP-2 (no cache)"] < table["INDEP-2 (cached)"]
+    assert 0.08 < table["SPLIT (cached)"] < 0.18
+    assert table["INDEP-2 (cached)"] < table["SPLIT (cached)"]
+
+
+def test_measured_channel_traffic(benchmark):
+    """Cross-check with the simulator: lines crossing the main channel."""
+    workload = WORKLOADS[0]
+
+    def compute():
+        freecursive = run_cached(DesignPoint.FREECURSIVE, workload, 1)
+        independent = run_cached(DesignPoint.INDEP_2, workload, 1)
+        split = run_cached(DesignPoint.SPLIT_2, workload, 1)
+        fc_lines = sum(counters["reads"] + counters["writes"]
+                       for counters in freecursive.channel_counters)
+        fc_per_op = fc_lines / max(1, freecursive.accessoram_count)
+        indep_per_op = (independent.main_bus_lines /
+                        max(1, independent.accessoram_count))
+        split_per_op = (split.main_bus_lines /
+                        max(1, split.accessoram_count))
+        return fc_per_op, indep_per_op, split_per_op
+
+    fc_per_op, indep_per_op, split_per_op = benchmark.pedantic(
+        compute, rounds=1, iterations=1)
+
+    emit("")
+    emit(f"  measured main-channel lines per accessORAM ({workload}):")
+    emit(f"    freecursive {fc_per_op:7.1f}")
+    emit(f"    indep-2     {indep_per_op:7.1f}  "
+         f"({indep_per_op / fc_per_op:.1%} of baseline)")
+    emit(f"    split-2     {split_per_op:7.1f}  "
+         f"({split_per_op / fc_per_op:.1%} of baseline)")
+
+    assert indep_per_op < 0.12 * fc_per_op
+    assert split_per_op < 0.35 * fc_per_op
+    assert indep_per_op < split_per_op

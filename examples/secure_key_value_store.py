@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""An oblivious in-memory key-value store over the Split protocol.
+
+The paper motivates SDIMMs with in-memory databases (Oracle TimesTen, SAP
+HANA): high capacity AND hidden access patterns.  This example builds a
+small KV store whose *values* and *access pattern* are both protected —
+an adversary watching the (simulated) buses learns only how many
+operations ran.
+
+Run:  python examples/secure_key_value_store.py
+"""
+
+import hashlib
+
+from repro import SplitProtocol
+from repro.oram.path_oram import Op
+
+BLOCK_BYTES = 64
+#: value bytes per block after the 2-byte length prefix
+VALUE_BYTES = BLOCK_BYTES - 2
+
+
+class ObliviousKvStore:
+    """A fixed-capacity KV store with oblivious gets and puts.
+
+    Keys hash to block addresses (open addressing is avoided by keeping
+    the table sparse); every operation is exactly one ORAM access, so gets
+    and puts are indistinguishable on the wire.
+    """
+
+    def __init__(self, capacity_blocks: int = 4096, ways: int = 2):
+        levels = max(2, capacity_blocks.bit_length())
+        self._oram = SplitProtocol(levels=levels, ways=ways,
+                                   block_bytes=BLOCK_BYTES,
+                                   stash_capacity=256, record_link=True)
+        self._capacity = capacity_blocks
+
+    def _slot(self, key: str) -> int:
+        digest = hashlib.sha256(key.encode()).digest()
+        return int.from_bytes(digest[:8], "little") % self._capacity
+
+    def put(self, key: str, value: str) -> None:
+        encoded = value.encode()
+        if len(encoded) > VALUE_BYTES:
+            raise ValueError(f"value exceeds {VALUE_BYTES} bytes")
+        block = len(encoded).to_bytes(2, "little") + \
+            encoded.ljust(VALUE_BYTES, b"\0")
+        self._oram.access(self._slot(key), Op.WRITE, block)
+
+    def get(self, key: str) -> str:
+        block = self._oram.access(self._slot(key), Op.READ)
+        length = int.from_bytes(block[:2], "little")
+        return block[2:2 + length].decode()
+
+    @property
+    def link_messages(self) -> int:
+        return len(self._oram.link.events)
+
+
+def main() -> None:
+    store = ObliviousKvStore()
+
+    print("Loading patient records into the oblivious store...")
+    records = {
+        "patient:1001": "diagnosis=hypertension;medication=lisinopril",
+        "patient:1002": "diagnosis=diabetes-t2;medication=metformin",
+        "patient:1003": "diagnosis=asthma;medication=albuterol",
+        "patient:1004": "diagnosis=migraine;medication=sumatriptan",
+    }
+    for key, value in records.items():
+        store.put(key, value)
+
+    print("A 'hot' query pattern (same record, repeatedly):")
+    for _ in range(3):
+        value = store.get("patient:1002")
+    print(f"  patient:1002 -> {value}")
+
+    print("A scan pattern (every record once):")
+    for key in records:
+        store.get(key)
+
+    messages = store.link_messages
+    operations = len(records) + 3 + len(records)
+    print(f"\nAdversary's view: {messages} protocol messages for "
+          f"{operations} operations")
+    print(f"  -> exactly {messages // operations} messages per operation, "
+          f"regardless of key, value, or read/write.")
+    print("  The hot query and the scan are indistinguishable on the bus.")
+
+    assert store.get("patient:1003").startswith("diagnosis=asthma")
+    assert messages % operations == 0
+    print("\nAll records verified. Access pattern leaked: nothing.")
+
+
+if __name__ == "__main__":
+    main()

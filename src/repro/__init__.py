@@ -1,0 +1,95 @@
+"""repro — a from-scratch reproduction of "Secure DIMM: Moving ORAM
+Primitives Closer to Memory" (Shafiee, Balasubramonian, Li, Tiwari;
+HPCA 2018).
+
+The package has two tiers:
+
+* a **functional tier** with real data, real counter-mode encryption, and
+  PMMAC integrity — :class:`PathOram`, :class:`RecursiveOram`,
+  :class:`FreecursiveOram`, and the three SDIMM protocols
+  (:class:`IndependentProtocol`, :class:`SplitProtocol`,
+  :class:`IndepSplitProtocol`) — used to prove correctness and
+  obliviousness; and
+* a **timing tier** — an event-driven DDR3 simulator
+  (:mod:`repro.dram`), full-system backends (:mod:`repro.sim`), workload
+  generators (:mod:`repro.workloads`), and energy/area models
+  (:mod:`repro.energy`) — used to reproduce the paper's evaluation
+  (Figures 6-13, Table I).
+
+Quickstart::
+
+    from repro import PathOram, Op, DeterministicRng
+
+    oram = PathOram(levels=10, blocks_per_bucket=4, block_bytes=64,
+                    stash_capacity=200, rng=DeterministicRng(7, "demo"))
+    oram.access(42, Op.WRITE, b"secret".ljust(64, b"\\0"))
+    data = oram.access(42, Op.READ)
+
+or run a full-system experiment::
+
+    from repro import DesignPoint, run_simulation, table2_config
+
+    result = run_simulation(table2_config(DesignPoint.INDEP_SPLIT,
+                                          channels=2), "mcf")
+    print(result.execution_cycles)
+"""
+
+from repro.config import (
+    DesignPoint,
+    DramOrganization,
+    DramPower,
+    DramTiming,
+    OramConfig,
+    SdimmConfig,
+    SystemConfig,
+    small_config,
+    table2_config,
+)
+from repro.core.commands import CommandEncoder, SdimmCommand
+from repro.core.indep_split import IndepSplitProtocol
+from repro.core.independent import IndependentProtocol
+from repro.core.split import SplitProtocol
+from repro.core.transfer_queue import TransferQueue
+from repro.energy.dram_power import DramEnergyModel, EnergyReport
+from repro.oram.freecursive import FreecursiveOram
+from repro.oram.path_oram import Op, PathOram
+from repro.oram.recursive import RecursiveOram
+from repro.sim.stats import RunResult, geometric_mean
+from repro.sim.system import build_backend, run_simulation
+from repro.utils.rng import DeterministicRng
+from repro.workloads.spec import SPEC_PROFILES, get_profile
+from repro.workloads.synthetic import generate_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CommandEncoder",
+    "DesignPoint",
+    "DeterministicRng",
+    "DramEnergyModel",
+    "DramOrganization",
+    "DramPower",
+    "DramTiming",
+    "EnergyReport",
+    "FreecursiveOram",
+    "IndepSplitProtocol",
+    "IndependentProtocol",
+    "Op",
+    "OramConfig",
+    "PathOram",
+    "RecursiveOram",
+    "RunResult",
+    "SPEC_PROFILES",
+    "SdimmCommand",
+    "SdimmConfig",
+    "SplitProtocol",
+    "SystemConfig",
+    "TransferQueue",
+    "build_backend",
+    "generate_trace",
+    "geometric_mean",
+    "get_profile",
+    "run_simulation",
+    "small_config",
+    "table2_config",
+]

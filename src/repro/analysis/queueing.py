@@ -1,0 +1,47 @@
+"""The M/M/1/K transfer-queue model of Section IV-C (Figure 13b).
+
+Draining an incoming block with an extra ``accessORAM`` with probability
+``p`` raises the service rate from 1/4 to 1/4 + p, giving utilization
+
+    rho = 0.25 / (0.25 + p).
+
+Treating the queue as M/M/1/K, the stationary probability that all K slots
+are full (an arriving block overflows) is
+
+    P_K = rho^K (1 - rho) / (1 - rho^(K+1)),
+
+which collapses to 1/(K+1) at rho = 1.  Even small drain probabilities
+push rho below 1 and make overflow negligible for modest K — the paper's
+Figure 13b.
+"""
+
+from __future__ import annotations
+
+
+def drain_utilization(drain_probability: float,
+                      arrival_rate: float = 0.25) -> float:
+    """rho = arrival / (arrival + p)."""
+    if not 0.0 <= drain_probability <= 1.0:
+        raise ValueError("drain probability must be in [0, 1]")
+    if arrival_rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    return arrival_rate / (arrival_rate + drain_probability)
+
+
+def mm1k_full_probability(rho: float, capacity: int) -> float:
+    """Stationary P(queue full) for an M/M/1/K queue."""
+    if rho < 0:
+        raise ValueError("utilization must be non-negative")
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    if abs(rho - 1.0) < 1e-12:
+        return 1.0 / (capacity + 1)
+    return (rho ** capacity) * (1.0 - rho) / (1.0 - rho ** (capacity + 1))
+
+
+def transfer_queue_overflow_probability(drain_probability: float,
+                                        capacity: int,
+                                        arrival_rate: float = 0.25) -> float:
+    """Figure 13b: overflow probability vs drain probability ``p``."""
+    rho = drain_utilization(drain_probability, arrival_rate)
+    return mm1k_full_probability(rho, capacity)

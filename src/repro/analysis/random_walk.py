@@ -1,0 +1,156 @@
+"""The transfer-queue random walk of Section IV-C (Figure 13a).
+
+Without active draining, the transfer queue of an SDIMM in a dual-SDIMM
+system gains a block with probability 1/4 (a remote access migrates a
+block here), loses one with probability 1/4 (a local block departs), and
+is unchanged with probability 1/2 — the paper's lazy +-1 random walk
+
+    F(s, k) = 0.5 F(s-1, k) + 0.25 F(s-1, k-1) + 0.25 F(s-1, k+1).
+
+Figure 13a plots ``sum_{|j| > k} F(s, j)`` — the probability that the walk
+currently sits more than ``k`` positions from the origin after ``s``
+steps (the paper's recursion carries no absorbing barrier, so a walk that
+exceeded ``k`` and returned is not counted).  That is
+:func:`displacement_exceedance_probability`.
+
+A stricter sizing metric — "did the buffer *ever* overflow?" — is the
+first-passage probability with absorbing barriers,
+:func:`first_passage_overflow_probability`.  It upper-bounds the paper's
+curve; both lead to the same conclusion (an undrained queue overflows).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+#: Exact dynamic programming is used below this step count; the normal
+#: approximation (with continuity correction) above it.
+_EXACT_STEP_LIMIT = 4000
+
+
+def displacement_exceedance_probability(threshold: int, steps: int,
+                                        p_move: float = 0.5) -> float:
+    """P(|X_s| > threshold) for the lazy walk — one point of Figure 13a.
+
+    Each step moves (+-1 equally likely) with probability ``p_move``.
+    Exact for small ``steps``; the normal approximation with continuity
+    correction otherwise (relative error < 1% in the figure's range).
+    """
+    _validate(threshold, steps)
+    if not 0.0 < p_move <= 1.0:
+        raise ValueError("p_move must be in (0, 1]")
+    if steps <= _EXACT_STEP_LIMIT:
+        distribution = _exact_distribution(steps, p_move)
+        origin = steps  # index of position 0
+        inside = distribution[origin - threshold:origin + threshold + 1]
+        return float(max(0.0, 1.0 - inside.sum()))
+    sigma = math.sqrt(p_move * steps)
+    z = (threshold + 0.5) / sigma
+    return float(math.erfc(z / math.sqrt(2.0)))
+
+
+def displacement_curve(threshold: int, steps: int,
+                       points: int = 16,
+                       p_move: float = 0.5) -> List[Tuple[int, float]]:
+    """(step, exceedance probability) samples — one line of Figure 13a."""
+    _validate(threshold, steps)
+    if points < 1:
+        raise ValueError("need at least one point")
+    samples = []
+    for index in range(1, points + 1):
+        step = steps * index // points
+        if step == 0:
+            continue
+        samples.append((step, displacement_exceedance_probability(
+            threshold, step, p_move)))
+    return samples
+
+
+def first_passage_overflow_probability(threshold: int, steps: int,
+                                       p_gain: float = 0.25,
+                                       p_loss: float = 0.25) -> float:
+    """P(the queue *ever* exceeds ``threshold`` within ``steps`` steps).
+
+    Exact dynamic program over occupancies ``0 .. threshold`` with the
+    physical boundary conditions: servicing an empty queue is a no-op
+    (reflection at 0) and an arrival at a full queue overflows (absorption
+    above ``threshold``).  For the symmetric lazy walk this coincides with
+    two-sided first passage of the displacement walk by the reflection
+    principle; it is the conservative buffer-sizing metric.
+    """
+    return first_passage_curve(threshold, steps, sample_every=steps,
+                               p_gain=p_gain, p_loss=p_loss)[-1][1]
+
+
+def first_passage_curve(threshold: int, steps: int,
+                        sample_every: int = 10_000,
+                        p_gain: float = 0.25,
+                        p_loss: float = 0.25) -> List[Tuple[int, float]]:
+    """(step, overflow probability) samples for the bounded queue walk."""
+    _validate(threshold, steps)
+    if p_gain < 0 or p_loss < 0 or p_gain + p_loss > 1:
+        raise ValueError("step probabilities must form a distribution")
+    sample_every = max(1, sample_every)
+
+    # occupancy distribution over 0 .. threshold
+    probability = np.zeros(threshold + 1)
+    probability[0] = 1.0
+    p_stay = 1.0 - p_gain - p_loss
+    absorbed = 0.0
+    samples: List[Tuple[int, float]] = []
+
+    for step in range(1, steps + 1):
+        gained = np.empty_like(probability)
+        gained[1:] = probability[:-1]
+        gained[0] = 0.0
+        lost = np.empty_like(probability)
+        lost[:-1] = probability[1:]
+        lost[-1] = 0.0
+        absorbed += p_gain * probability[-1]
+        empty_service = p_loss * probability[0]
+        probability = p_stay * probability + p_gain * gained + p_loss * lost
+        # servicing an empty queue is a no-op: that mass stays at 0
+        probability[0] += empty_service
+        if step % sample_every == 0 or step == steps:
+            samples.append((step, float(absorbed)))
+    return samples
+
+
+def expected_displacement(steps: int, p_move: float = 0.5) -> float:
+    """RMS displacement of the lazy walk — the intuition check.
+
+    Each step moves with probability ``p_move`` (variance p_move), so the
+    RMS position after ``s`` steps is ``sqrt(p_move * s)``: ~632 positions
+    after 800K steps, which is why even a 1024-entry queue exceeds its
+    capacity with ~10% probability (Figure 13a's top curve).
+    """
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    return float(np.sqrt(p_move * steps))
+
+
+def _exact_distribution(steps: int, p_move: float) -> np.ndarray:
+    """Free-walk position distribution over [-steps, steps]."""
+    distribution = np.zeros(2 * steps + 1)
+    distribution[steps] = 1.0
+    half_move = p_move / 2.0
+    stay = 1.0 - p_move
+    for _ in range(steps):
+        up = np.empty_like(distribution)
+        up[1:] = distribution[:-1]
+        up[0] = 0.0
+        down = np.empty_like(distribution)
+        down[:-1] = distribution[1:]
+        down[-1] = 0.0
+        distribution = stay * distribution + half_move * (up + down)
+    return distribution
+
+
+def _validate(threshold: int, steps: int) -> None:
+    if threshold < 1:
+        raise ValueError("threshold must be at least 1")
+    if steps < 1:
+        raise ValueError("need at least one step")

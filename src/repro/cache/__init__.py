@@ -1,0 +1,5 @@
+"""Set-associative cache models (LLC, PLB, on-chip ORAM-level cache)."""
+
+from repro.cache.cache import AccessResult, SetAssociativeCache
+
+__all__ = ["AccessResult", "SetAssociativeCache"]

@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Subcommands:
+
+* ``simulate`` — run one (design, workload) pair through the cycle-level
+  simulator and print the measurements.
+* ``compare``  — run the full design space of Figures 8/9 on one workload.
+* ``sweep``    — run every SPEC-like workload for one design.
+* ``overflow`` — print the Figure 13 transfer-queue analysis.
+* ``coresident`` — non-secure VM latency next to each secure design.
+* ``trace``    — generate a synthetic miss trace to a file.
+* ``designs`` / ``workloads`` — list what is available.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.queueing import transfer_queue_overflow_probability
+from repro.analysis.random_walk import displacement_exceedance_probability
+from repro.config import DesignPoint, table2_config
+from repro.energy.dram_power import DramEnergyModel
+from repro.sim.stats import RunResult
+from repro.sim.system import run_simulation
+from repro.workloads.spec import get_profile, profile_names
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.trace import save_trace
+
+
+def _design(name: str) -> DesignPoint:
+    for design in DesignPoint:
+        if design.value == name:
+            return design
+    known = ", ".join(design.value for design in DesignPoint)
+    raise argparse.ArgumentTypeError(f"unknown design {name!r}; "
+                                     f"choose from {known}")
+
+
+def _print_result(result: RunResult, energy_pj: Optional[float]) -> None:
+    print(f"design              {result.design}")
+    print(f"workload            {result.workload}")
+    print(f"execution cycles    {result.execution_cycles:,}")
+    print(f"LLC misses          {result.miss_count:,} "
+          f"(hit rate {result.llc_hit_rate:.1%})")
+    print(f"accessORAMs/miss    {result.accessorams_per_miss:.2f}")
+    print(f"mean miss latency   {result.miss_latency.mean:,.0f} cycles "
+          f"(p95 {result.miss_latency.percentile(0.95):,})")
+    print(f"main-bus lines      {result.main_bus_lines:,}")
+    if energy_pj is not None:
+        print(f"memory energy       {energy_pj / 1e6:,.1f} uJ")
+
+
+def _run(design: DesignPoint, workload: str, channels: int,
+         trace_length: int, seed: int):
+    config = table2_config(design, channels=channels, seed=seed)
+    result = run_simulation(config, workload, trace_length=trace_length,
+                            trace_seed=seed)
+    model = DramEnergyModel(config.power, config.timing,
+                            config.organization,
+                            config.cpu.cpu_cycles_per_mem_cycle)
+    return result, model.report(result).total_pj
+
+
+def cmd_simulate(args) -> int:
+    """Handle ``repro simulate``."""
+    if args.trace_file:
+        from repro.sim.system import run_trace_file
+
+        config = table2_config(args.design, channels=args.channels,
+                               seed=args.seed)
+        result = run_trace_file(config, args.trace_file, mlp=args.mlp)
+        model = DramEnergyModel(config.power, config.timing,
+                                config.organization,
+                                config.cpu.cpu_cycles_per_mem_cycle)
+        energy = model.report(result).total_pj
+    else:
+        result, energy = _run(args.design, args.workload, args.channels,
+                              args.trace_length, args.seed)
+    if args.json:
+        import json
+
+        summary = result.to_dict()
+        summary["memory_energy_pj"] = energy
+        print(json.dumps(summary, indent=2))
+        return 0
+    _print_result(result, energy)
+    return 0
+
+
+def cmd_compare(args) -> int:
+    """Handle ``repro compare``."""
+    designs: List[DesignPoint] = [DesignPoint.NONSECURE,
+                                  DesignPoint.FREECURSIVE]
+    if args.channels == 1:
+        designs += [DesignPoint.INDEP_2, DesignPoint.SPLIT_2]
+    else:
+        designs += [DesignPoint.INDEP_4, DesignPoint.SPLIT_4,
+                    DesignPoint.INDEP_SPLIT]
+    print(f"{'design':12s} {'cycles':>12s} {'vs freec':>9s} "
+          f"{'latency':>9s} {'energy uJ':>10s}")
+    baseline = None
+    for design in designs:
+        result, energy = _run(design, args.workload, args.channels,
+                              args.trace_length, args.seed)
+        if design is DesignPoint.FREECURSIVE:
+            baseline = result
+        normalized = (f"{result.normalized_time(baseline):8.3f}"
+                      if baseline else "       -")
+        print(f"{design.value:12s} {result.execution_cycles:12,} "
+              f"{normalized:>9s} {result.miss_latency.mean:9.0f} "
+              f"{energy / 1e6:10.1f}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Handle ``repro sweep``."""
+    print(f"{'workload':12s} {'cycles':>12s} {'hit':>5s} {'ap/ms':>6s} "
+          f"{'latency':>9s}")
+    for workload in profile_names():
+        result, _ = _run(args.design, workload, args.channels,
+                         args.trace_length, args.seed)
+        print(f"{workload:12s} {result.execution_cycles:12,} "
+              f"{result.llc_hit_rate:5.2f} "
+              f"{result.accessorams_per_miss:6.2f} "
+              f"{result.miss_latency.mean:9.0f}")
+    return 0
+
+
+def cmd_overflow(args) -> int:
+    """Handle ``repro overflow``."""
+    print("Figure 13a: P(queue displacement > size) after "
+          f"{args.steps:,} steps")
+    for size in (16, 64, 256, 1024):
+        probability = displacement_exceedance_probability(size, args.steps)
+        print(f"  {size:5d}  {probability:7.1%}")
+    print("\nFigure 13b: M/M/1/K overflow probability")
+    print("  K \\ p " + "".join(f"{p:>10.2f}" for p in
+                                (0.01, 0.05, 0.1, 0.2)))
+    for capacity in (8, 32, 128):
+        row = "".join(
+            f"{transfer_queue_overflow_probability(p, capacity):>10.1e}"
+            for p in (0.01, 0.05, 0.1, 0.2))
+        print(f"  {capacity:5d}{row}")
+    return 0
+
+
+def cmd_coresident(args) -> int:
+    """Handle ``repro coresident``."""
+    from repro.sim.coresident import CoResidentExperiment
+
+    designs = (DesignPoint.NONSECURE, DesignPoint.FREECURSIVE,
+               DesignPoint.SPLIT_2, DesignPoint.INDEP_2)
+    print(f"{'design under load':18s} {'VM latency':>11s} {'vs idle':>9s}")
+    floor = None
+    for design in designs:
+        result = CoResidentExperiment(design, seed=args.seed).run(
+            oram_requests=args.requests, vm_requests=args.requests)
+        if floor is None:
+            floor = result.mean_latency
+        print(f"{design.value:18s} {result.mean_latency:11.0f} "
+              f"{result.mean_latency / floor:9.1f}x")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Handle ``repro trace``."""
+    records = generate_trace(get_profile(args.workload), args.length,
+                             seed=args.seed)
+    count = save_trace(records, args.output)
+    print(f"wrote {count} records of {args.workload!r} to {args.output}")
+    return 0
+
+
+def cmd_designs(_args) -> int:
+    """Handle ``repro designs``."""
+    for design in DesignPoint:
+        print(design.value)
+    return 0
+
+
+def cmd_workloads(_args) -> int:
+    """Handle ``repro workloads``."""
+    for name in profile_names():
+        profile = get_profile(name)
+        print(f"{name:12s} footprint={profile.footprint_bytes >> 20:4d}MiB "
+              f"mlp={profile.mlp:2d} writes={profile.write_fraction:.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure DIMM (HPCA 2018) reproduction toolkit")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def common(sub):
+        sub.add_argument("--channels", type=int, default=1,
+                         choices=(1, 2))
+        sub.add_argument("--trace-length", type=int, default=4000)
+        sub.add_argument("--seed", type=int, default=2018)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="run one design on one workload")
+    simulate.add_argument("design", type=_design)
+    simulate.add_argument("workload", nargs="?", default="mcf")
+    simulate.add_argument("--json", action="store_true",
+                          help="emit machine-readable results")
+    simulate.add_argument("--trace-file", default=None,
+                          help="replay a saved trace instead of a profile")
+    simulate.add_argument("--mlp", type=int, default=4,
+                          help="miss window for --trace-file replays")
+    common(simulate)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    compare = subparsers.add_parser(
+        "compare", help="run the whole design space on one workload")
+    compare.add_argument("workload")
+    common(compare)
+    compare.set_defaults(handler=cmd_compare)
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run every workload for one design")
+    sweep.add_argument("design", type=_design)
+    common(sweep)
+    sweep.set_defaults(handler=cmd_sweep)
+
+    overflow = subparsers.add_parser(
+        "overflow", help="print the Figure 13 queue analysis")
+    overflow.add_argument("--steps", type=int, default=800_000)
+    overflow.set_defaults(handler=cmd_overflow)
+
+    coresident = subparsers.add_parser(
+        "coresident", help="VM latency next to each secure design")
+    coresident.add_argument("--requests", type=int, default=120)
+    coresident.add_argument("--seed", type=int, default=2018)
+    coresident.set_defaults(handler=cmd_coresident)
+
+    trace = subparsers.add_parser(
+        "trace", help="generate a synthetic miss trace file")
+    trace.add_argument("workload")
+    trace.add_argument("output")
+    trace.add_argument("--length", type=int, default=10_000)
+    trace.add_argument("--seed", type=int, default=2018)
+    trace.set_defaults(handler=cmd_trace)
+
+    subparsers.add_parser("designs", help="list design points") \
+        .set_defaults(handler=cmd_designs)
+    subparsers.add_parser("workloads", help="list workload profiles") \
+        .set_defaults(handler=cmd_workloads)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,173 @@
+"""Table I: shoehorning SDIMM commands into the DDR interface.
+
+The SDIMM adds no pins.  Instead, the first blocks of each SDIMM's address
+space are reserved: RAS/CAS commands targeting them are interpreted by the
+secure buffer as SDIMM commands.  *Short* commands need only the
+command/address bus (reads at distinguished CAS offsets of block 0); *long*
+commands ride a write's data burst (the message is the "written" data).
+
+Because a CAS selects an 8-byte word, each reserved 64-byte block encodes
+up to 8 distinct short commands — hence the CAS offsets 0x0, 0x8, 0x10,
+0x18 in Table I.  Long commands all write to RAS(0x0)/CAS(0x0) (FETCH_STASH
+additionally carries a stash index in a second CAS) and are distinguished
+by a type byte inside the encrypted payload.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+
+class SdimmCommand(enum.Enum):
+    """The nine commands of Table I."""
+
+    SEND_PKEY = "SEND_PKEY"
+    RECEIVE_SECRET = "RECEIVE_SECRET"
+    ACCESS = "ACCESS"
+    PROBE = "PROBE"
+    FETCH_RESULT = "FETCH_RESULT"
+    APPEND = "APPEND"
+    FETCH_DATA = "FETCH_DATA"
+    FETCH_STASH = "FETCH_STASH"
+    RECEIVE_LIST = "RECEIVE_LIST"
+
+
+@dataclass(frozen=True)
+class CommandSpec:
+    """One row of Table I."""
+
+    command: SdimmCommand
+    is_long: bool          # long commands use the data bus
+    is_write: bool         # RD vs WR on the DDR bus
+    ras: int
+    cas: int
+    extra_cas: bool = False  # FETCH_STASH sends a second CAS with an index
+
+
+#: Table I, verbatim.
+TABLE_I: Tuple[CommandSpec, ...] = (
+    CommandSpec(SdimmCommand.SEND_PKEY, False, False, 0x0, 0x0),
+    CommandSpec(SdimmCommand.RECEIVE_SECRET, True, True, 0x0, 0x0),
+    CommandSpec(SdimmCommand.ACCESS, True, True, 0x0, 0x0),
+    CommandSpec(SdimmCommand.PROBE, False, False, 0x0, 0x8),
+    CommandSpec(SdimmCommand.FETCH_RESULT, False, False, 0x0, 0x10),
+    CommandSpec(SdimmCommand.APPEND, True, True, 0x0, 0x0),
+    CommandSpec(SdimmCommand.FETCH_DATA, False, False, 0x0, 0x18),
+    CommandSpec(SdimmCommand.FETCH_STASH, True, True, 0x0, 0x18,
+                extra_cas=True),
+    CommandSpec(SdimmCommand.RECEIVE_LIST, True, True, 0x0, 0x0),
+)
+
+_SPEC_BY_COMMAND: Dict[SdimmCommand, CommandSpec] = {
+    spec.command: spec for spec in TABLE_I}
+
+#: Payload type bytes disambiguating long commands that share RAS/CAS.
+_TYPE_BYTES: Dict[SdimmCommand, int] = {
+    SdimmCommand.RECEIVE_SECRET: 0x01,
+    SdimmCommand.ACCESS: 0x02,
+    SdimmCommand.APPEND: 0x03,
+    SdimmCommand.RECEIVE_LIST: 0x04,
+    SdimmCommand.FETCH_STASH: 0x05,
+}
+_COMMAND_BY_TYPE_BYTE = {value: key for key, value in _TYPE_BYTES.items()}
+
+
+@dataclass(frozen=True)
+class DdrFrame:
+    """What actually appears on the DDR bus for one SDIMM command."""
+
+    is_write: bool
+    ras: int
+    cas_sequence: Tuple[int, ...]
+    payload: bytes = b""
+
+    @property
+    def uses_data_bus(self) -> bool:
+        return len(self.payload) > 0
+
+
+class CommandDecodeError(Exception):
+    """Raised when a frame does not parse as a valid SDIMM command."""
+
+
+class CommandEncoder:
+    """Encode/decode SDIMM commands onto legacy DDR frames."""
+
+    #: Number of leading blocks reserved for command encoding.
+    RESERVED_BLOCKS = 1
+
+    def encode(self, command: SdimmCommand, payload: bytes = b"",
+               stash_index: Optional[int] = None) -> DdrFrame:
+        """Build the DDR frame for ``command``.
+
+        Raises:
+            ValueError: if a payload is given for a short command, missing
+                for a long one, or a stash index is (not) supplied when the
+                command does (not) expect one.
+        """
+        spec = _SPEC_BY_COMMAND[command]
+        if spec.is_long and not payload:
+            raise ValueError(f"{command.value} is a long command and needs "
+                             f"a payload")
+        if not spec.is_long and payload:
+            raise ValueError(f"{command.value} is a short command; it cannot "
+                             f"carry a payload")
+        if spec.extra_cas and stash_index is None:
+            raise ValueError(f"{command.value} requires a stash index")
+        if not spec.extra_cas and stash_index is not None:
+            raise ValueError(f"{command.value} does not take a stash index")
+
+        cas_sequence: List[int] = [spec.cas]
+        if spec.extra_cas:
+            cas_sequence.append(stash_index)
+        framed_payload = b""
+        if spec.is_long:
+            framed_payload = bytes([_TYPE_BYTES[command]]) + payload
+        return DdrFrame(is_write=spec.is_write, ras=spec.ras,
+                        cas_sequence=tuple(cas_sequence),
+                        payload=framed_payload)
+
+    def decode(self, frame: DdrFrame) -> Tuple[SdimmCommand, bytes,
+                                               Optional[int]]:
+        """Parse a DDR frame back into (command, payload, stash index).
+
+        Raises:
+            CommandDecodeError: for frames that match no Table I row.
+        """
+        if frame.ras != 0x0:
+            raise CommandDecodeError(
+                f"RAS {frame.ras:#x} is outside the reserved command block")
+        if not frame.is_write:
+            for spec in TABLE_I:
+                if (not spec.is_write and not spec.is_long and
+                        frame.cas_sequence == (spec.cas,)):
+                    return spec.command, b"", None
+            raise CommandDecodeError(
+                f"no short command at CAS {frame.cas_sequence}")
+        if not frame.payload:
+            raise CommandDecodeError("long command frame without payload")
+        type_byte = frame.payload[0]
+        command = _COMMAND_BY_TYPE_BYTE.get(type_byte)
+        if command is None:
+            raise CommandDecodeError(f"unknown payload type {type_byte:#x}")
+        spec = _SPEC_BY_COMMAND[command]
+        expected_cas = 2 if spec.extra_cas else 1
+        if len(frame.cas_sequence) != expected_cas:
+            raise CommandDecodeError(
+                f"{command.value} expects {expected_cas} CAS commands")
+        if frame.cas_sequence[0] != spec.cas:
+            raise CommandDecodeError(
+                f"{command.value} must target CAS {spec.cas:#x}")
+        stash_index = frame.cas_sequence[1] if spec.extra_cas else None
+        return command, frame.payload[1:], stash_index
+
+    @staticmethod
+    def spec(command: SdimmCommand) -> CommandSpec:
+        return _SPEC_BY_COMMAND[command]
+
+    @staticmethod
+    def table() -> Tuple[CommandSpec, ...]:
+        """The full Table I, for the reproduction benchmark."""
+        return TABLE_I

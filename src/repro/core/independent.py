@@ -1,0 +1,261 @@
+"""The Independent ORAM protocol (Section III-C).
+
+The ORAM tree is partitioned into one subtree per SDIMM by the most
+significant bits of the leaf ID.  Each SDIMM runs a complete Path ORAM
+backend over its subtree: the CPU sends an ``accessORAM`` to the owning
+SDIMM, the SDIMM shuffles its path locally, and only the requested block —
+plus one APPEND per SDIMM (all but one carrying dummies) to hide the
+block's new home — crosses the main memory channel.
+
+The six protocol steps map directly onto methods here:
+
+1.  CPU front end picks the request, looks up the leaf, sends ACCESS (+ one
+    always-present data block) to the owning SDIMM
+    (:meth:`IndependentProtocol.access`).
+2-4. the SDIMM performs the local path access and write-back
+    (:meth:`IndependentBuffer.access`).
+5.  the CPU polls with PROBE and collects the block with FETCH_RESULT.
+6.  the CPU APPENDs one block to *every* SDIMM; real only at the new owner
+    (:meth:`IndependentBuffer.append`), feeding the transfer queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.commands import SdimmCommand
+from repro.core.secure_buffer import LinkRecorder
+from repro.core.transfer_queue import TransferQueue
+from repro.oram.bucket import Block
+from repro.oram.path_oram import Op, PathOram
+from repro.oram.posmap import PositionMap
+from repro.utils.bitops import log2_exact
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class AccessOutcome:
+    """What one SDIMM-local accessORAM produced."""
+
+    data: bytes
+    new_global_leaf: int
+    moved_block: Optional[Block]   # set when the block left this SDIMM
+    drain_accesses: int            # extra dummy accesses spent on the queue
+
+
+class IndependentBuffer:
+    """One SDIMM's secure buffer running the Independent backend."""
+
+    def __init__(self, sdimm_id: int, total_sdimms: int, global_levels: int,
+                 blocks_per_bucket: int, block_bytes: int,
+                 stash_capacity: int, transfer_queue_capacity: int,
+                 drain_probability: float, rng: DeterministicRng,
+                 record_trace: bool = False,
+                 encryption_key: Optional[bytes] = None):
+        self.sdimm_id = sdimm_id
+        self.total_sdimms = total_sdimms
+        self._partition_bits = log2_exact(total_sdimms)
+        local_levels = global_levels - self._partition_bits
+        if local_levels < 1:
+            raise ValueError("tree too shallow for this many SDIMMs")
+        store = None
+        if encryption_key is not None:
+            # The DRAM chips behind the secure buffer are untrusted: the
+            # buffer encrypts and PMMACs every bucket it writes on-DIMM.
+            from repro.oram.integrity import EncryptedBucketStore
+
+            store = EncryptedBucketStore(
+                bucket_count=(1 << local_levels) - 1,
+                bucket_capacity=blocks_per_bucket,
+                block_bytes=block_bytes,
+                key=encryption_key + bytes([sdimm_id]))
+        self.oram = PathOram(
+            levels=local_levels,
+            blocks_per_bucket=blocks_per_bucket,
+            block_bytes=block_bytes,
+            stash_capacity=stash_capacity,
+            rng=rng.child(f"sdimm{sdimm_id}"),
+            store=store,
+            record_trace=record_trace,
+        )
+        self._local_leaf_bits = local_levels - 1
+        self._global_leaf_count = (self.oram.geometry.leaf_count *
+                                   total_sdimms)
+        self.queue = TransferQueue(transfer_queue_capacity,
+                                   drain_probability,
+                                   rng.child(f"queue{sdimm_id}"))
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+
+    def owner_of(self, global_leaf: int) -> int:
+        return global_leaf >> self._local_leaf_bits
+
+    def _local(self, global_leaf: int) -> int:
+        return global_leaf & ((1 << self._local_leaf_bits) - 1)
+
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, old_global_leaf: int, op: Op,
+               new_data: Optional[bytes]) -> AccessOutcome:
+        """Steps 2-4: local path access, remap, conditional removal.
+
+        The new leaf is drawn by the SDIMM over the *global* leaf space; if
+        it maps to another SDIMM the block is removed from the local stash
+        and handed back for migration.
+        """
+        if self.owner_of(old_global_leaf) != self.sdimm_id:
+            raise ValueError(f"leaf {old_global_leaf} not owned by "
+                             f"SDIMM {self.sdimm_id}")
+        self.accesses += 1
+        oram = self.oram
+        old_local = self._local(old_global_leaf)
+        oram.read_path_into_stash(old_local)
+
+        if address in oram.stash:
+            block = oram.stash.get(address)
+        elif address in self.queue:
+            block = self.queue.remove(address)
+            block.leaf = self._local(block.leaf)
+            oram.stash.add(block)
+        else:
+            block = Block(address, old_local, bytes(oram.block_bytes))
+            oram.stash.add(block)
+
+        result = block.data
+        if op is Op.WRITE:
+            if new_data is None or len(new_data) != oram.block_bytes:
+                raise ValueError("write requires a full-size payload")
+            block.data = new_data
+
+        new_global_leaf = oram.rng.random_leaf(self._global_leaf_count)
+        moved: Optional[Block] = None
+        if self.owner_of(new_global_leaf) == self.sdimm_id:
+            block.leaf = self._local(new_global_leaf)
+        else:
+            moved = oram.stash.remove(address)
+            moved.leaf = new_global_leaf
+            # Step 6's counterpart: a departure opens a stash vacancy that
+            # services one waiting transfer-queue block for free.
+            freed = self.queue.service(via_drain=False)
+            if freed is not None:
+                freed.leaf = self._local(freed.leaf)
+                oram.stash.add(freed)
+
+        oram.write_path_from_stash(old_local)
+        oram.relieve_pressure()
+        return AccessOutcome(result, new_global_leaf, moved, 0)
+
+    def append(self, block: Optional[Block]) -> int:
+        """Step 6 receiver: absorb an APPEND (dummy blocks are dropped).
+
+        Returns how many drain accesses (extra dummy accessORAMs) were
+        spent; each one also moves a queued block into the stash.
+        """
+        if block is None:
+            return 0
+        local_block = Block(block.address, block.leaf, block.data)
+        drain_now = self.queue.push(local_block)
+        if not drain_now:
+            return 0
+        serviced = self.queue.service(via_drain=True)
+        if serviced is not None:
+            serviced.leaf = self._local(serviced.leaf)
+            self.oram.stash.add(serviced)
+        self.oram.dummy_access()
+        return 1
+
+    def holds(self, address: int) -> bool:
+        """Whether the block is anywhere in this SDIMM (tests/debugging)."""
+        return address in self.oram.stash or address in self.queue
+
+
+class IndependentProtocol:
+    """CPU-side orchestration of the Independent design."""
+
+    def __init__(self, global_levels: int, sdimm_count: int,
+                 blocks_per_bucket: int = 4, block_bytes: int = 64,
+                 stash_capacity: int = 200,
+                 transfer_queue_capacity: int = 128,
+                 drain_probability: float = 0.05,
+                 seed: int = 2018,
+                 record_link: bool = False,
+                 record_trace: bool = False,
+                 encryption_key: Optional[bytes] = None):
+        rng = DeterministicRng(seed, "independent")
+        self.block_bytes = block_bytes
+        self.sdimms: List[IndependentBuffer] = [
+            IndependentBuffer(
+                sdimm_id=index,
+                total_sdimms=sdimm_count,
+                global_levels=global_levels,
+                blocks_per_bucket=blocks_per_bucket,
+                block_bytes=block_bytes,
+                stash_capacity=stash_capacity,
+                transfer_queue_capacity=transfer_queue_capacity,
+                drain_probability=drain_probability,
+                rng=rng,
+                record_trace=record_trace,
+                encryption_key=encryption_key,
+            )
+            for index in range(sdimm_count)
+        ]
+        global_leaf_count = (self.sdimms[0].oram.geometry.leaf_count *
+                             sdimm_count)
+        self.posmap = PositionMap(global_leaf_count, rng.child("posmap"))
+        self.link = LinkRecorder(enabled=record_link)
+        self.accesses = 0
+
+    # ------------------------------------------------------------------
+
+    def access(self, address: int, op: Op,
+               data: Optional[bytes] = None) -> bytes:
+        """One end-to-end request through the Independent protocol."""
+        if op is Op.WRITE and data is None:
+            raise ValueError("write requires data")
+        self.accesses += 1
+        old_leaf = self.posmap.lookup(address)
+        owner = self.sdimms[0].owner_of(old_leaf)
+
+        # Step 1: ACCESS always carries one block (dummy for reads) so the
+        # operation type is hidden.
+        self.link.up(SdimmCommand.ACCESS, owner, self.block_bytes)
+        outcome = self.sdimms[owner].access(address, old_leaf, op, data)
+        self.posmap.set(address, outcome.new_global_leaf)
+
+        # Step 5: PROBE until ready, then FETCH_RESULT.  The SDIMM always
+        # returns one block (dummy only for a local-stay write).
+        self.link.up(SdimmCommand.PROBE, owner, 0)
+        self.link.up(SdimmCommand.FETCH_RESULT, owner, 0)
+        self.link.down(SdimmCommand.FETCH_RESULT, owner, self.block_bytes)
+
+        # Step 6: one APPEND to every SDIMM; real block only at the new
+        # owner (and only if the block actually migrated).
+        new_owner = self.sdimms[0].owner_of(outcome.new_global_leaf)
+        for index, sdimm in enumerate(self.sdimms):
+            payload = (outcome.moved_block
+                       if index == new_owner and outcome.moved_block
+                       else None)
+            self.link.up(SdimmCommand.APPEND, index, self.block_bytes)
+            sdimm.append(payload)
+
+        return outcome.data
+
+    def read(self, address: int) -> bytes:
+        """Oblivious read of one block."""
+        return self.access(address, Op.READ)
+
+    def write(self, address: int, data: bytes) -> None:
+        """Oblivious write of one block."""
+        self.access(address, Op.WRITE, data)
+
+    # ------------------------------------------------------------------
+
+    def locate(self, address: int) -> int:
+        """Which SDIMM currently owns the block (tests/debugging)."""
+        return self.sdimms[0].owner_of(self.posmap.lookup(address))
+
+    @property
+    def total_drain_accesses(self) -> int:
+        return sum(sdimm.queue.drain_services for sdimm in self.sdimms)

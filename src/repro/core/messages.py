@@ -1,0 +1,288 @@
+"""Wire formats for the CPU <-> secure-buffer link, end to end.
+
+This module closes the loop between three pieces that the protocol classes
+otherwise use abstractly: the session crypto (:mod:`repro.crypto.session`),
+the Table I command encoding (:mod:`repro.core.commands`), and the
+Independent-protocol buffer logic.  A :class:`CpuPort` serializes a
+message, encrypts it under the upstream session key, and wraps it in the
+DDR frame its command dictates; an :class:`SdimmPort` does the reverse and
+drives an :class:`~repro.core.independent.IndependentBuffer`.
+
+Every message kind serializes to a *fixed* length — ACCESS and APPEND
+always carry a full block whether or not they are dummies — because the
+frame sizes are part of what the bus adversary sees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.commands import CommandEncoder, DdrFrame, SdimmCommand
+from repro.core.independent import IndependentBuffer
+from repro.crypto.session import SecureSession
+from repro.oram.bucket import Block
+from repro.oram.path_oram import Op
+
+_OP_READ = 0
+_OP_WRITE = 1
+
+
+class ReplayError(Exception):
+    """A link message with a stale counter was replayed on the bus."""
+
+
+@dataclass(frozen=True)
+class AccessMessage:
+    """The accessORAM request: address, leaf, operation, one block."""
+
+    address: int
+    leaf: int
+    op: Op
+    payload: bytes  # a dummy block for reads (same size, same look)
+
+    def serialize(self) -> bytes:
+        op_byte = _OP_WRITE if self.op is Op.WRITE else _OP_READ
+        return (self.address.to_bytes(8, "little") +
+                self.leaf.to_bytes(8, "little") +
+                bytes([op_byte]) + self.payload)
+
+    @classmethod
+    def parse(cls, raw: bytes, block_bytes: int) -> "AccessMessage":
+        if len(raw) != 17 + block_bytes:
+            raise ValueError(f"ACCESS message must be {17 + block_bytes} "
+                             f"bytes, got {len(raw)}")
+        op = Op.WRITE if raw[16] == _OP_WRITE else Op.READ
+        return cls(int.from_bytes(raw[:8], "little"),
+                   int.from_bytes(raw[8:16], "little"), op, raw[17:])
+
+
+@dataclass(frozen=True)
+class ResultMessage:
+    """FETCH_RESULT response: the block (or a dummy) plus its new leaf."""
+
+    payload: bytes
+    new_leaf: int
+    is_dummy: bool
+
+    def serialize(self) -> bytes:
+        return (self.new_leaf.to_bytes(8, "little") +
+                bytes([1 if self.is_dummy else 0]) + self.payload)
+
+    @classmethod
+    def parse(cls, raw: bytes, block_bytes: int) -> "ResultMessage":
+        if len(raw) != 9 + block_bytes:
+            raise ValueError("RESULT message has the wrong size")
+        return cls(raw[9:], int.from_bytes(raw[:8], "little"),
+                   raw[8] == 1)
+
+
+@dataclass(frozen=True)
+class AppendMessage:
+    """APPEND: a (possibly dummy) block headed for a transfer queue."""
+
+    is_dummy: bool
+    address: int
+    leaf: int
+    payload: bytes
+
+    def serialize(self) -> bytes:
+        return (bytes([1 if self.is_dummy else 0]) +
+                self.address.to_bytes(8, "little") +
+                self.leaf.to_bytes(8, "little") + self.payload)
+
+    @classmethod
+    def parse(cls, raw: bytes, block_bytes: int) -> "AppendMessage":
+        if len(raw) != 17 + block_bytes:
+            raise ValueError("APPEND message has the wrong size")
+        return cls(raw[0] == 1, int.from_bytes(raw[1:9], "little"),
+                   int.from_bytes(raw[9:17], "little"), raw[17:])
+
+    @classmethod
+    def dummy(cls, block_bytes: int) -> "AppendMessage":
+        return cls(True, 0, 0, bytes(block_bytes))
+
+
+class CpuPort:
+    """CPU-side endpoint: message -> ciphertext -> DDR frame."""
+
+    def __init__(self, session: SecureSession, block_bytes: int):
+        self._session = session
+        self._encoder = CommandEncoder()
+        self.block_bytes = block_bytes
+        self.frames_sent = 0
+
+    def send(self, command: SdimmCommand, message) -> DdrFrame:
+        ciphertext, tag = self._session.encrypt_upstream(message.serialize())
+        self.frames_sent += 1
+        counter = (self._session.upstream_counter - 1).to_bytes(8, "little")
+        return self._encoder.encode(command, counter + tag + ciphertext)
+
+    def send_probe(self) -> DdrFrame:
+        self.frames_sent += 1
+        return self._encoder.encode(SdimmCommand.PROBE)
+
+    def send_fetch_result(self) -> DdrFrame:
+        self.frames_sent += 1
+        return self._encoder.encode(SdimmCommand.FETCH_RESULT)
+
+    def receive_result(self, ciphertext_frame: bytes) -> ResultMessage:
+        counter = int.from_bytes(ciphertext_frame[:8], "little")
+        tag = ciphertext_frame[8:16]
+        plaintext = self._session.decrypt_downstream(
+            ciphertext_frame[16:], tag, counter)
+        return ResultMessage.parse(plaintext, self.block_bytes)
+
+
+class SdimmPort:
+    """Buffer-side endpoint: DDR frame -> plaintext -> buffer operation.
+
+    Wraps one :class:`IndependentBuffer`; the pending result is buffered
+    until the CPU's PROBE/FETCH_RESULT pair collects it, exactly as a DDR
+    slave that cannot initiate transfers must behave.
+    """
+
+    def __init__(self, buffer: IndependentBuffer, session: SecureSession):
+        self.buffer = buffer
+        self._session = session
+        self._encoder = CommandEncoder()
+        self._pending_result: Optional[bytes] = None
+        self._highest_counter = -1
+        self.frames_handled = 0
+
+    def handle(self, frame: DdrFrame) -> Optional[bytes]:
+        """Process one frame; returns response bytes for short reads."""
+        self.frames_handled += 1
+        command, payload, _ = self._encoder.decode(frame)
+        if command is SdimmCommand.PROBE:
+            return b"\x01" if self._pending_result is not None else b"\x00"
+        if command is SdimmCommand.FETCH_RESULT:
+            if self._pending_result is None:
+                raise LookupError("FETCH_RESULT with no pending response")
+            result, self._pending_result = self._pending_result, None
+            return result
+        plaintext = self._decrypt(payload)
+        if command is SdimmCommand.ACCESS:
+            self._handle_access(plaintext)
+            return None
+        if command is SdimmCommand.APPEND:
+            self._handle_append(plaintext)
+            return None
+        raise ValueError(f"unsupported command {command}")
+
+    def _decrypt(self, payload: bytes) -> bytes:
+        counter = int.from_bytes(payload[:8], "little")
+        if counter <= self._highest_counter:
+            raise ReplayError(f"message counter {counter} already seen "
+                              f"(highest: {self._highest_counter})")
+        tag = payload[8:16]
+        plaintext = self._session.decrypt_upstream(payload[16:], tag,
+                                                   counter)
+        self._highest_counter = counter
+        return plaintext
+
+    def _handle_access(self, plaintext: bytes) -> None:
+        message = AccessMessage.parse(plaintext, self.buffer.oram.block_bytes)
+        data = message.payload if message.op is Op.WRITE else None
+        outcome = self.buffer.access(message.address, message.leaf,
+                                     message.op, data)
+        stays_local = outcome.moved_block is None
+        dummy = message.op is Op.WRITE and stays_local
+        result = ResultMessage(
+            payload=bytes(len(message.payload)) if dummy else outcome.data,
+            new_leaf=outcome.new_global_leaf,
+            is_dummy=dummy)
+        ciphertext, tag = self._session.encrypt_downstream(
+            result.serialize())
+        counter = (self._session.downstream_counter - 1).to_bytes(8,
+                                                                  "little")
+        self._pending_result = counter + tag + ciphertext
+
+    def _handle_append(self, plaintext: bytes) -> None:
+        message = AppendMessage.parse(plaintext,
+                                      self.buffer.oram.block_bytes)
+        if message.is_dummy:
+            self.buffer.append(None)
+        else:
+            self.buffer.append(Block(message.address, message.leaf,
+                                     message.payload))
+
+
+class WiredIndependentProtocol:
+    """The Independent protocol with every byte travelling as DDR frames.
+
+    Functionally equivalent to
+    :class:`~repro.core.independent.IndependentProtocol`, but the CPU and
+    the buffers communicate exclusively through encrypted, Table I-framed
+    messages — the executable proof that the protocol fits the legacy DDR
+    interface with no new pins.
+    """
+
+    def __init__(self, global_levels: int, sdimm_count: int,
+                 block_bytes: int = 64, stash_capacity: int = 200,
+                 seed: int = 2018):
+        from repro.crypto.session import (CertificateAuthority,
+                                          establish_session)
+        from repro.oram.posmap import PositionMap
+        from repro.utils.rng import DeterministicRng
+
+        rng = DeterministicRng(seed, "wired-independent")
+        authority = CertificateAuthority()
+        self.block_bytes = block_bytes
+        self.cpu_ports = []
+        self.sdimm_ports = []
+        for index in range(sdimm_count):
+            cpu_session, buffer_session = establish_session(
+                index, rng.random_bytes(16), rng.random_bytes(16),
+                authority)
+            buffer = IndependentBuffer(
+                sdimm_id=index, total_sdimms=sdimm_count,
+                global_levels=global_levels,
+                blocks_per_bucket=4, block_bytes=block_bytes,
+                stash_capacity=stash_capacity,
+                transfer_queue_capacity=128, drain_probability=0.05,
+                rng=rng)
+            self.cpu_ports.append(CpuPort(cpu_session, block_bytes))
+            self.sdimm_ports.append(SdimmPort(buffer, buffer_session))
+        leaf_count = (self.sdimm_ports[0].buffer.oram.geometry.leaf_count *
+                      sdimm_count)
+        self.posmap = PositionMap(leaf_count, rng.child("posmap"))
+        self.probes_sent = 0
+
+    def read(self, address: int) -> bytes:
+        """Oblivious read, every byte as encrypted DDR frames."""
+        return self._access(address, Op.READ, bytes(self.block_bytes))
+
+    def write(self, address: int, data: bytes) -> None:
+        """Oblivious write, every byte as encrypted DDR frames."""
+        self._access(address, Op.WRITE, data)
+
+    def _access(self, address: int, op: Op, payload: bytes) -> bytes:
+        old_leaf = self.posmap.lookup(address)
+        owner = self.sdimm_ports[0].buffer.owner_of(old_leaf)
+        cpu = self.cpu_ports[owner]
+        port = self.sdimm_ports[owner]
+
+        frame = cpu.send(SdimmCommand.ACCESS,
+                         AccessMessage(address, old_leaf, op, payload))
+        port.handle(frame)
+        # PROBE until ready (immediate here; the timing tier models delay)
+        while port.handle(cpu.send_probe()) != b"\x01":
+            self.probes_sent += 1
+        raw = port.handle(cpu.send_fetch_result())
+        result = cpu.receive_result(raw)
+        self.posmap.set(address, result.new_leaf)
+
+        # APPEND one block to every SDIMM; the real one to the new owner.
+        new_owner = self.sdimm_ports[0].buffer.owner_of(result.new_leaf)
+        moved = not result.is_dummy and new_owner != owner
+        for index, target in enumerate(self.sdimm_ports):
+            if index == new_owner and moved:
+                message = AppendMessage(False, address, result.new_leaf,
+                                        result.payload if op is Op.READ
+                                        else payload)
+            else:
+                message = AppendMessage.dummy(self.block_bytes)
+            target.handle(self.cpu_ports[index].send(SdimmCommand.APPEND,
+                                                     message))
+        return result.payload

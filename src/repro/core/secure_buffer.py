@@ -1,0 +1,63 @@
+"""Shared secure-buffer machinery: the encrypted link and its observables.
+
+Section III-G's privacy argument rests on the *nature* of CPU<->SDIMM
+communication being fixed: per request, the same commands, the same
+directions, the same payload sizes, regardless of address or operation.
+:class:`LinkRecorder` captures exactly what a logic analyzer on the memory
+channel would see of the encrypted link — command type, direction, target
+SDIMM, payload size — so tests can assert that property directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.commands import SdimmCommand
+
+
+@dataclass(frozen=True)
+class LinkEvent:
+    """One command observed on the (encrypted) CPU<->SDIMM link."""
+
+    direction: str           # "up" = CPU->SDIMM, "down" = SDIMM->CPU
+    command: Optional[SdimmCommand]
+    sdimm: int
+    payload_bytes: int
+
+    def shape(self) -> Tuple[str, Optional[SdimmCommand], int]:
+        """The content-free part of the event (what obliviousness fixes).
+
+        The target SDIMM is excluded: it is a uniform random function of the
+        (secret, freshly remapped) leaf, identical in distribution for every
+        access pattern.
+        """
+        return (self.direction, self.command, self.payload_bytes)
+
+
+class LinkRecorder:
+    """Accumulates link events for obliviousness analysis."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.events: List[LinkEvent] = []
+
+    def up(self, command: SdimmCommand, sdimm: int,
+           payload_bytes: int) -> None:
+        if self.enabled:
+            self.events.append(LinkEvent("up", command, sdimm, payload_bytes))
+
+    def down(self, command: Optional[SdimmCommand], sdimm: int,
+             payload_bytes: int) -> None:
+        if self.enabled:
+            self.events.append(LinkEvent("down", command, sdimm,
+                                         payload_bytes))
+
+    def shapes(self) -> List[Tuple[str, Optional[SdimmCommand], int]]:
+        return [event.shape() for event in self.events]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,103 @@
+"""The Independent protocol's inter-SDIMM transfer queue (Section IV-C).
+
+Blocks APPENDed from other SDIMMs wait here before entering the normal
+stash.  A block leaves the queue in one of two ways:
+
+1. an outgoing block departs the normal stash for another SDIMM, creating a
+   vacancy that a queued block fills for free, or
+2. with probability *p* per arrival, the buffer spends an extra dummy
+   ``accessORAM`` to drain one queued block.
+
+Without (2) the queue is a saturated random walk and overflows with
+probability approaching 1 (Figure 13a); with even a small *p* the M/M/1/K
+utilization drops below 1 and overflow becomes negligible (Figure 13b).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional
+
+from repro.oram.bucket import Block
+from repro.utils.rng import DeterministicRng
+
+
+class TransferQueueOverflow(Exception):
+    """Raised when an APPEND arrives at a full transfer queue."""
+
+
+class TransferQueue:
+    """Bounded FIFO of in-flight blocks with drain statistics."""
+
+    def __init__(self, capacity: int, drain_probability: float,
+                 rng: DeterministicRng):
+        if capacity < 1:
+            raise ValueError("transfer queue needs capacity >= 1")
+        if not 0.0 <= drain_probability <= 1.0:
+            raise ValueError("drain probability must be in [0, 1]")
+        self.capacity = capacity
+        self.drain_probability = drain_probability
+        self._rng = rng
+        self._queue: deque = deque()
+        self.arrivals = 0
+        self.vacancy_services = 0
+        self.drain_services = 0
+        self.peak_occupancy = 0
+        self.overflows = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __contains__(self, address: int) -> bool:
+        return any(block.address == address for block in self._queue)
+
+    def find(self, address: int) -> Optional[Block]:
+        for block in self._queue:
+            if block.address == address:
+                return block
+        return None
+
+    def remove(self, address: int) -> Block:
+        """Pull a specific block out (it was accessed while in flight)."""
+        for index, block in enumerate(self._queue):
+            if block.address == address:
+                del self._queue[index]
+                return block
+        raise KeyError(f"address {address} not in transfer queue")
+
+    def push(self, block: Block) -> bool:
+        """Enqueue an arriving block.
+
+        Returns True when the arrival also triggered a probabilistic drain
+        decision (the caller must then perform one dummy ``accessORAM`` and
+        call :meth:`service`).
+
+        Raises:
+            TransferQueueOverflow: if the queue is already full.
+        """
+        if len(self._queue) >= self.capacity:
+            self.overflows += 1
+            raise TransferQueueOverflow(
+                f"transfer queue full at capacity {self.capacity}")
+        self._queue.append(block)
+        self.arrivals += 1
+        self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
+        return self._rng.bernoulli(self.drain_probability)
+
+    def service(self, via_drain: bool) -> Optional[Block]:
+        """Dequeue the oldest block (vacancy fill or drain access)."""
+        if not self._queue:
+            return None
+        if via_drain:
+            self.drain_services += 1
+        else:
+            self.vacancy_services += 1
+        return self._queue.popleft()
+
+    def blocks(self) -> List[Block]:
+        return list(self._queue)
+
+    @property
+    def utilization_estimate(self) -> float:
+        """rho = 0.25 / (0.25 + p), the paper's M/M/1/K utilization."""
+        return 0.25 / (0.25 + self.drain_probability)

@@ -1,0 +1,29 @@
+"""Cryptographic primitives for the CPU <-> secure-buffer link and PMMAC.
+
+The paper uses counter-mode AES and PMMAC (position-map MAC) integrity.
+Hardware AES is irrelevant to protocol behaviour, so we build the same
+constructions over a SHA-256 PRF: a counter-mode pad cipher, keyed MACs, and
+the boot-time session handshake that authenticates each SDIMM buffer and
+agrees on upstream/downstream keys and counters.
+"""
+
+from repro.crypto.ctr import CounterModeCipher
+from repro.crypto.mac import MacEngine, PmmacAuthenticator
+from repro.crypto.prf import Prf
+from repro.crypto.session import (
+    BufferIdentity,
+    CertificateAuthority,
+    SecureSession,
+    establish_session,
+)
+
+__all__ = [
+    "BufferIdentity",
+    "CertificateAuthority",
+    "CounterModeCipher",
+    "MacEngine",
+    "PmmacAuthenticator",
+    "Prf",
+    "SecureSession",
+    "establish_session",
+]

@@ -1,0 +1,52 @@
+"""A keyed pseudo-random function over SHA-256.
+
+Stands in for the AES block cipher: deterministic under a key, unpredictable
+without it, and fast enough for functional simulation.  All higher-level
+constructions (counter-mode pads, MACs, key derivation) are built on this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+
+class Prf:
+    """Keyed PRF producing arbitrary-length outputs.
+
+    Output for input ``message`` is the concatenation of
+    ``HMAC-SHA256(key, message || block_index)`` blocks, truncated to the
+    requested length — a simple counter-based expansion.
+    """
+
+    DIGEST_BYTES = 32
+
+    def __init__(self, key: bytes):
+        if len(key) < 16:
+            raise ValueError("PRF key must be at least 128 bits")
+        self._key = key
+
+    def evaluate(self, message: bytes, length: int = DIGEST_BYTES) -> bytes:
+        """Return ``length`` pseudo-random bytes for ``message``."""
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        output = bytearray()
+        block_index = 0
+        while len(output) < length:
+            block = hmac.new(
+                self._key,
+                message + block_index.to_bytes(4, "little"),
+                hashlib.sha256,
+            ).digest()
+            output.extend(block)
+            block_index += 1
+        return bytes(output[:length])
+
+    def derive_key(self, label: str) -> bytes:
+        """Derive an independent sub-key for a named purpose."""
+        return self.evaluate(b"derive:" + label.encode(), self.DIGEST_BYTES)
+
+    def evaluate_int(self, message: bytes, bits: int = 64) -> int:
+        """Return a pseudo-random ``bits``-wide integer for ``message``."""
+        raw = self.evaluate(message, (bits + 7) // 8)
+        return int.from_bytes(raw, "little") & ((1 << bits) - 1)

@@ -1,0 +1,135 @@
+"""Boot-time authentication and session establishment (Section III-B).
+
+At boot the CPU asks each SDIMM buffer for its identity (SEND_PKEY), checks
+it against a third-party authenticator (the paper's Verisign analogy), and
+runs a key agreement (RECEIVE_SECRET) producing independent upstream and
+downstream session keys plus starting counters.  We model the public-key
+step with a toy commutative exponentiation over a prime field — enough to
+exercise the message flow without a real RSA/ECC implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.crypto.ctr import CounterModeCipher
+from repro.crypto.mac import MacEngine
+from repro.crypto.prf import Prf
+
+# A 127-bit Mersenne prime and a fixed generator: small enough to be fast,
+# large enough that collisions never happen in simulation.
+_PRIME = (1 << 127) - 1
+_GENERATOR = 5
+
+
+class AuthenticationError(Exception):
+    """Raised when a buffer's identity cannot be validated."""
+
+
+@dataclass(frozen=True)
+class BufferIdentity:
+    """The identity a secure buffer presents during SEND_PKEY."""
+
+    buffer_id: int
+    public_key: int
+
+
+class CertificateAuthority:
+    """The third-party authenticator that vouches for buffer public keys."""
+
+    def __init__(self):
+        self._registry: Dict[int, int] = {}
+
+    def register(self, identity: BufferIdentity) -> None:
+        self._registry[identity.buffer_id] = identity.public_key
+
+    def lookup(self, buffer_id: int) -> int:
+        if buffer_id not in self._registry:
+            raise AuthenticationError(f"unknown buffer id {buffer_id}")
+        return self._registry[buffer_id]
+
+
+class SecureSession:
+    """An established CPU<->buffer link: paired ciphers, MACs and counters.
+
+    Upstream (CPU -> buffer) and downstream (buffer -> CPU) directions use
+    independent keys and counters, as is standard practice; every message
+    bumps the corresponding counter so pads are never reused.
+    """
+
+    def __init__(self, shared_secret: int):
+        root = Prf(shared_secret.to_bytes(16, "little"))
+        self._upstream = CounterModeCipher(root.derive_key("upstream"))
+        self._downstream = CounterModeCipher(root.derive_key("downstream"))
+        self._mac = MacEngine(root.derive_key("mac"))
+        self.upstream_counter = 0
+        self.downstream_counter = 0
+
+    def encrypt_upstream(self, plaintext: bytes) -> Tuple[bytes, bytes]:
+        """CPU-side send: returns (ciphertext, tag) and bumps the counter."""
+        ciphertext = self._upstream.encrypt(plaintext, 0, self.upstream_counter)
+        tag = self._mac.tag(ciphertext +
+                            self.upstream_counter.to_bytes(8, "little"))
+        self.upstream_counter += 1
+        return ciphertext, tag
+
+    def decrypt_upstream(self, ciphertext: bytes, tag: bytes,
+                         counter: int) -> bytes:
+        """Buffer-side receive for the message sent at ``counter``."""
+        self._mac.verify(ciphertext + counter.to_bytes(8, "little"), tag)
+        return self._upstream.decrypt(ciphertext, 0, counter)
+
+    def encrypt_downstream(self, plaintext: bytes) -> Tuple[bytes, bytes]:
+        """Buffer-side send: returns (ciphertext, tag) and bumps the counter."""
+        ciphertext = self._downstream.encrypt(plaintext, 0,
+                                              self.downstream_counter)
+        tag = self._mac.tag(ciphertext +
+                            self.downstream_counter.to_bytes(8, "little"))
+        self.downstream_counter += 1
+        return ciphertext, tag
+
+    def decrypt_downstream(self, ciphertext: bytes, tag: bytes,
+                           counter: int) -> bytes:
+        self._mac.verify(ciphertext + counter.to_bytes(8, "little"), tag)
+        return self._downstream.decrypt(ciphertext, 0, counter)
+
+
+def _keypair(seed: bytes) -> Tuple[int, int]:
+    """Derive a (private, public) pair from a seed."""
+    private = Prf(seed.ljust(16, b"\0")).evaluate_int(b"private", 126) | 1
+    public = pow(_GENERATOR, private, _PRIME)
+    return private, public
+
+
+def establish_session(buffer_id: int, buffer_seed: bytes, cpu_seed: bytes,
+                      authority: CertificateAuthority) -> Tuple[SecureSession,
+                                                                SecureSession]:
+    """Run the SEND_PKEY / RECEIVE_SECRET handshake for one SDIMM.
+
+    Returns the CPU-side and buffer-side session objects; both derive the
+    same shared secret (Diffie-Hellman style) so the first encrypted message
+    in each direction verifies on the other end.
+
+    Raises:
+        AuthenticationError: if the buffer's presented key does not match
+            what the certificate authority has on record.
+    """
+    buffer_private, buffer_public = _keypair(buffer_seed)
+    authority.register(BufferIdentity(buffer_id, buffer_public))
+
+    # SEND_PKEY: CPU reads the buffer's identity and validates it.
+    presented = BufferIdentity(buffer_id, buffer_public)
+    if authority.lookup(presented.buffer_id) != presented.public_key:
+        raise AuthenticationError(f"buffer {buffer_id} presented a key that "
+                                  f"does not match the authority's record")
+
+    # RECEIVE_SECRET: CPU sends its ephemeral public value; both sides
+    # compute the shared secret.
+    cpu_private, cpu_public = _keypair(cpu_seed)
+    cpu_shared = pow(presented.public_key, cpu_private, _PRIME)
+    buffer_shared = pow(cpu_public, buffer_private, _PRIME)
+    if cpu_shared != buffer_shared:
+        raise AuthenticationError("key agreement failed")
+
+    return SecureSession(cpu_shared), SecureSession(buffer_shared)

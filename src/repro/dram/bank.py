@@ -1,0 +1,88 @@
+"""Per-bank DDR3 state machine.
+
+A bank tracks its open row and the earliest cycle at which each command
+class may issue.  All times are in simulator cycles (the channel scales raw
+DDR parameters into the simulation clock domain before constructing banks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dram.commands import RowBufferOutcome
+
+
+class Bank:
+    """One DRAM bank: open-row state plus per-command ready times."""
+
+    def __init__(self, timing_scaled: "ScaledTiming"):
+        self._t = timing_scaled
+        self.open_row: Optional[int] = None
+        self.ready_activate = 0
+        self.ready_cas = 0
+        self.ready_precharge = 0
+
+    def classify(self, row: int) -> RowBufferOutcome:
+        """How a column access to ``row`` interacts with the row buffer."""
+        if self.open_row is None:
+            return RowBufferOutcome.MISS
+        if self.open_row == row:
+            return RowBufferOutcome.HIT
+        return RowBufferOutcome.CONFLICT
+
+    def precharge(self, issue_time: int) -> None:
+        """Issue PRE at ``issue_time``; the bank may activate after tRP."""
+        self.open_row = None
+        self.ready_activate = max(self.ready_activate,
+                                  issue_time + self._t.trp)
+
+    def activate(self, issue_time: int, row: int) -> None:
+        """Issue ACT at ``issue_time``, opening ``row``."""
+        self.open_row = row
+        self.ready_cas = issue_time + self._t.trcd
+        self.ready_precharge = issue_time + self._t.tras
+        self.ready_activate = issue_time + self._t.trc
+
+    def read(self, issue_time: int) -> None:
+        """Issue RD at ``issue_time`` (row must be open).
+
+        Same-bank CAS pacing uses tCCD_L: accesses to one bank are always
+        within one bank group (equal to tCCD on DDR3).
+        """
+        self.ready_precharge = max(self.ready_precharge,
+                                   issue_time + self._t.trtp)
+        self.ready_cas = max(self.ready_cas, issue_time + self._t.tccd_l)
+
+    def write(self, issue_time: int) -> None:
+        """Issue WR at ``issue_time`` (row must be open)."""
+        write_recovery = issue_time + self._t.tcwl + self._t.tburst + self._t.twr
+        self.ready_precharge = max(self.ready_precharge, write_recovery)
+        self.ready_cas = max(self.ready_cas, issue_time + self._t.tccd_l)
+
+    def block_until(self, time: int) -> None:
+        """Freeze the bank until ``time`` (refresh / power-mode exits)."""
+        self.open_row = None
+        self.ready_activate = max(self.ready_activate, time)
+        self.ready_cas = max(self.ready_cas, time)
+        self.ready_precharge = max(self.ready_precharge, time)
+
+
+class ScaledTiming:
+    """DDR timing parameters scaled into simulator cycles.
+
+    The simulation runs in CPU cycles; DDR3-1600's memory clock is half the
+    1.6 GHz core clock (Table II), so every parameter is multiplied by
+    ``scale`` exactly once, here, instead of sprinkling conversions through
+    the state machines.
+    """
+
+    _FIELDS = ("trcd", "trp", "tcl", "tcwl", "tras", "trc", "tburst", "tccd",
+               "tccd_l", "trtp", "twr", "twtr", "trtrs", "tfaw", "trrd",
+               "trefi", "trfc", "txp", "txpdll")
+
+    def __init__(self, timing, scale: int):
+        if scale < 1:
+            raise ValueError("scale must be at least 1")
+        self.scale = scale
+        for name in self._FIELDS:
+            setattr(self, name, getattr(timing, name) * scale)

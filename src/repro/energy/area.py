@@ -1,0 +1,51 @@
+"""Parametric silicon-area model for the SDIMM secure buffer.
+
+Calibrated against the two data points the paper cites: Fletcher et al.'s
+0.47 mm^2 ORAM controller at 32 nm, and a CACTI 6.5 estimate of 0.42 mm^2
+for the 8 KB overflow buffer in the same technology.  SRAM area scales
+slightly sub-linearly with capacity (peripheral amortization) and
+quadratically with feature size.
+"""
+
+from __future__ import annotations
+
+from repro.config import SdimmConfig
+
+#: Calibration anchors from Section IV-B.
+_REFERENCE_SRAM_BYTES = 8 * 1024
+_REFERENCE_SRAM_MM2 = 0.42
+_REFERENCE_CONTROLLER_MM2 = 0.47
+_REFERENCE_TECH_NM = 32
+#: Capacity exponent: periphery amortizes as arrays grow.
+_CAPACITY_EXPONENT = 0.9
+
+
+def _tech_scale(tech_nm: float) -> float:
+    if tech_nm <= 0:
+        raise ValueError("feature size must be positive")
+    return (tech_nm / _REFERENCE_TECH_NM) ** 2
+
+
+def sram_area_mm2(capacity_bytes: int, tech_nm: float = 32.0) -> float:
+    """Area of an on-chip SRAM of ``capacity_bytes`` at ``tech_nm``."""
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    ratio = capacity_bytes / _REFERENCE_SRAM_BYTES
+    return (_REFERENCE_SRAM_MM2 * ratio ** _CAPACITY_EXPONENT *
+            _tech_scale(tech_nm))
+
+
+def oram_controller_area_mm2(tech_nm: float = 32.0) -> float:
+    """Area of the ORAM controller logic (Fletcher et al.'s figure)."""
+    return _REFERENCE_CONTROLLER_MM2 * _tech_scale(tech_nm)
+
+
+def sdimm_buffer_area_mm2(sdimm: SdimmConfig,
+                          tech_nm: float = 32.0) -> float:
+    """Total secure-buffer area: controller + overflow/stash SRAM.
+
+    The paper's claim: "the overall area overhead of an SDIMM buffer chip
+    is less than 1 mm^2" for the default 8 KB buffer at 32 nm.
+    """
+    return (oram_controller_area_mm2(tech_nm) +
+            sram_area_mm2(sdimm.buffer_sram_bytes, tech_nm))

@@ -1,0 +1,40 @@
+"""Path ORAM and Freecursive ORAM (the paper's baseline and substrate).
+
+Two tiers share the same geometry and layout code:
+
+* the *functional* tier (:class:`PathOram`, :class:`RecursiveOram`,
+  :class:`FreecursiveOram`) stores real blocks, runs real encryption and
+  PMMAC integrity, and is used to prove correctness and obliviousness;
+* the *timing* tier (in :mod:`repro.sim` and :mod:`repro.core`) reuses the
+  geometry, layout, and PLB models to drive the DRAM simulator without
+  payload bytes — Path ORAM's obliviousness makes its timing
+  content-independent, which is what makes this split sound.
+"""
+
+from repro.oram.bucket import Block, Bucket
+from repro.oram.freecursive import FreecursiveOram
+from repro.oram.integrity import EncryptedBucketStore, IntegrityError
+from repro.oram.layout import LowPowerLayout, TreeLayout
+from repro.oram.path_oram import PathOram, StashOverflowError
+from repro.oram.plb import PlbFrontend
+from repro.oram.posmap import PositionMap
+from repro.oram.recursive import RecursiveOram
+from repro.oram.stash import Stash
+from repro.oram.tree import TreeGeometry
+
+__all__ = [
+    "Block",
+    "Bucket",
+    "EncryptedBucketStore",
+    "FreecursiveOram",
+    "IntegrityError",
+    "LowPowerLayout",
+    "PathOram",
+    "PlbFrontend",
+    "PositionMap",
+    "RecursiveOram",
+    "Stash",
+    "StashOverflowError",
+    "TreeGeometry",
+    "TreeLayout",
+]

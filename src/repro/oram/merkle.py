@@ -1,0 +1,191 @@
+"""Merkle-tree integrity over ORAM buckets (the Section II-B alternative).
+
+The paper's threat model requires data integrity and names the two
+standard tools: Merkle trees and PMMAC.  The system itself adopts PMMAC
+(:mod:`repro.oram.integrity`) because its verification cost rides along
+with the ORAM counters; this module implements the Merkle alternative so
+the trade-off the paper alludes to is measurable:
+
+* a Merkle tree stores one hash per bucket, parent hashes binding children,
+  with only the root held on chip — no trusted counter state at all;
+* verifying or updating a bucket touches the whole hash path: for a Path
+  ORAM access that is *already* a tree path, the classic optimization
+  applies — the ORAM path's buckets and their siblings cover every hash
+  needed, so the extra memory traffic is the sibling metadata only.
+
+:class:`MerkleBucketStore` drops into :class:`~repro.oram.path_oram.PathOram`
+exactly like the PMMAC store, and :func:`integrity_traffic_comparison`
+returns the per-access traffic both schemes add (the ablation bench uses
+it).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Optional, Tuple
+
+from repro.config import OramConfig
+from repro.crypto.ctr import CounterModeCipher
+from repro.oram.bucket import Bucket
+from repro.oram.integrity import IntegrityError
+from repro.oram.tree import TreeGeometry
+
+_HASH_BYTES = 16
+
+
+def _hash(payload: bytes) -> bytes:
+    return hashlib.sha256(payload).digest()[:_HASH_BYTES]
+
+
+_EMPTY_SENTINEL = b"\x00" * _HASH_BYTES
+
+
+class MerkleBucketStore:
+    """Encrypted bucket storage authenticated by a bucket-aligned Merkle tree.
+
+    The hash tree mirrors the ORAM tree: node *i*'s hash covers its
+    ciphertext and its children's hashes, so the on-chip state is one
+    root hash.  Never-written subtrees carry a sentinel hash, letting the
+    tree start empty without materializing 2^L leaves.
+    """
+
+    def __init__(self, levels: int, bucket_capacity: int, block_bytes: int,
+                 key: bytes):
+        self.geometry = TreeGeometry(levels)
+        self.bucket_count = self.geometry.bucket_count
+        self.bucket_capacity = bucket_capacity
+        self.block_bytes = block_bytes
+        self._cipher = CounterModeCipher(key)
+        self._cells: Dict[int, Tuple[int, bytes]] = {}   # untrusted
+        self._hashes: Dict[int, bytes] = {}              # untrusted
+        self._root: Optional[bytes] = None               # trusted (on chip)
+        self.reads = 0
+        self.writes = 0
+        self.hash_checks = 0
+
+    # ------------------------------------------------------------------
+
+    def _node_hash(self, index: int) -> bytes:
+        return self._hashes.get(index, _EMPTY_SENTINEL)
+
+    def _compute_hash(self, index: int) -> bytes:
+        cell = self._cells.get(index)
+        body = (cell[1] if cell is not None else b"") + \
+            (cell[0].to_bytes(8, "little") if cell is not None else b"")
+        children = self.geometry.children(index)
+        child_hashes = b"".join(self._node_hash(child)
+                                for child in children)
+        if cell is None and all(self._node_hash(child) == _EMPTY_SENTINEL
+                                for child in children):
+            return _EMPTY_SENTINEL
+        return _hash(index.to_bytes(8, "little") + body + child_hashes)
+
+    def _verify_path_to_root(self, index: int) -> None:
+        """Check every hash from ``index`` up to the trusted root."""
+        if self._root is None:
+            return  # nothing written yet
+        node = index
+        while True:
+            self.hash_checks += 1
+            if self._compute_hash(node) != self._node_hash(node):
+                raise IntegrityError(
+                    f"Merkle hash mismatch at node {node}")
+            if node == 0:
+                if self._node_hash(0) != self._root:
+                    raise IntegrityError("Merkle root mismatch (replay?)")
+                return
+            node = self.geometry.parent(node)
+
+    def _rehash_to_root(self, index: int) -> None:
+        node = index
+        while True:
+            self._hashes[node] = self._compute_hash(node)
+            if node == 0:
+                self._root = self._hashes[0]
+                return
+            node = self.geometry.parent(node)
+
+    # ------------------------------------------------------------------
+
+    def read(self, index: int) -> Bucket:
+        """Fetch, verify the hash path, decrypt.
+
+        Raises:
+            IntegrityError: on any hash-path or root mismatch.
+        """
+        self._check(index)
+        self.reads += 1
+        self._verify_path_to_root(index)
+        cell = self._cells.get(index)
+        if cell is None:
+            return Bucket(self.bucket_capacity, self.block_bytes)
+        counter, ciphertext = cell
+        plaintext = self._cipher.decrypt(ciphertext, index, counter)
+        bucket = Bucket.deserialize(plaintext, self.bucket_capacity,
+                                    self.block_bytes)
+        bucket.counter = counter
+        return bucket
+
+    def write(self, index: int, bucket: Bucket) -> None:
+        self._check(index)
+        self.writes += 1
+        counter = (self._cells[index][0] + 1 if index in self._cells
+                   else 1)
+        bucket.counter = counter
+        ciphertext = self._cipher.encrypt(bucket.serialize(), index,
+                                          counter)
+        self._cells[index] = (counter, ciphertext)
+        self._rehash_to_root(index)
+
+    # ------------------------------------------------------------------
+    # adversarial hooks for tests
+    # ------------------------------------------------------------------
+
+    def tamper(self, index: int, ciphertext: bytes) -> None:
+        counter, _ = self._cells[index]
+        self._cells[index] = (counter, ciphertext)
+
+    def replay(self, index: int,
+               cell: Tuple[int, bytes], hashes: Dict[int, bytes]) -> None:
+        """Put back a captured (cell, hash-path) snapshot — everything an
+        adversary controls; the on-chip root is out of reach."""
+        self._cells[index] = cell
+        self._hashes.update(hashes)
+
+    def snapshot(self, index: int):
+        cell = self._cells.get(index)
+        if cell is None:
+            return None
+        node = index
+        hashes = {}
+        while True:
+            hashes[node] = self._node_hash(node)
+            if node == 0:
+                break
+            node = self.geometry.parent(node)
+        return cell, hashes
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.bucket_count:
+            raise ValueError(f"bucket index {index} out of range")
+
+
+def integrity_traffic_comparison(oram: OramConfig,
+                                 cached_levels: int) -> Dict[str, float]:
+    """Extra memory traffic per accessORAM for each integrity scheme.
+
+    PMMAC: the MAC and counter ride inside the bucket's metadata line —
+    zero additional lines.  Merkle: each bucket on the path needs its
+    sibling's hash to recompute the parent, ~one extra hash per level;
+    hashes pack ``64 / _HASH_BYTES`` per line.
+    """
+    levels_in_memory = oram.levels - cached_levels
+    hashes_per_line = oram.block_bytes // _HASH_BYTES
+    merkle_lines = 2 * levels_in_memory / hashes_per_line  # read + write
+    baseline = 2 * oram.lines_per_bucket * levels_in_memory
+    return {
+        "baseline_lines": float(baseline),
+        "pmmac_extra_lines": 0.0,
+        "merkle_extra_lines": merkle_lines,
+        "merkle_overhead_fraction": merkle_lines / baseline,
+    }

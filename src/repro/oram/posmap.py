@@ -1,0 +1,53 @@
+"""The position map: logical block address -> current leaf ID.
+
+Initial positions are uniformly random; every access remaps the touched
+block to a fresh uniform leaf.  The map is materialized lazily so that
+sparse address spaces (and the huge trees of the timing tier) cost memory
+proportional to the touched footprint only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.utils.rng import DeterministicRng
+
+
+class PositionMap:
+    """Lazily materialized address -> leaf mapping."""
+
+    def __init__(self, leaf_count: int, rng: DeterministicRng):
+        if leaf_count < 1:
+            raise ValueError("need at least one leaf")
+        self.leaf_count = leaf_count
+        self._rng = rng
+        self._positions: Dict[int, int] = {}
+
+    def lookup(self, address: int) -> int:
+        """Current leaf for ``address``, drawing an initial one on first use."""
+        leaf = self._positions.get(address)
+        if leaf is None:
+            leaf = self._rng.random_leaf(self.leaf_count)
+            self._positions[address] = leaf
+        return leaf
+
+    def remap(self, address: int) -> int:
+        """Assign and return a fresh uniform leaf for ``address``."""
+        leaf = self._rng.random_leaf(self.leaf_count)
+        self._positions[address] = leaf
+        return leaf
+
+    def lookup_and_remap(self, address: int) -> tuple:
+        """The accessORAM step 1: read the old leaf, install a new one."""
+        old_leaf = self.lookup(address)
+        new_leaf = self.remap(address)
+        return old_leaf, new_leaf
+
+    def set(self, address: int, leaf: int) -> None:
+        if not 0 <= leaf < self.leaf_count:
+            raise ValueError(f"leaf {leaf} out of range")
+        self._positions[address] = leaf
+
+    @property
+    def touched_addresses(self) -> int:
+        return len(self._positions)

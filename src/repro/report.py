@@ -1,0 +1,100 @@
+"""Terminal figure rendering for the reproduction benchmarks.
+
+The paper's results are figures; these helpers draw them as ASCII so a
+benchmark run regenerates something visually comparable: horizontal bar
+charts for the normalized-execution-time figures (6, 8, 9, 10) and a
+down-sampled line chart for the overflow curves (13a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def bar_chart(title: str, rows: Sequence[Tuple[str, float]],
+              width: int = 46, unit: str = "",
+              reference: float = None) -> str:
+    """Horizontal bar chart; optionally marks a reference value with '|'.
+
+    Raises:
+        ValueError: on empty input or negative values.
+    """
+    if not rows:
+        raise ValueError("bar chart needs at least one row")
+    if any(value < 0 for _, value in rows):
+        raise ValueError("bar chart values must be non-negative")
+    peak = max(value for _, value in rows)
+    if reference is not None:
+        peak = max(peak, reference)
+    peak = peak or 1.0
+    label_width = max(len(label) for label, _ in rows)
+    lines = [title]
+    for label, value in rows:
+        filled = round(value / peak * width)
+        bar = "#" * filled
+        if reference is not None:
+            mark = min(width, round(reference / peak * width))
+            if mark >= len(bar):
+                bar = bar + " " * (mark - len(bar)) + "|"
+        lines.append(f"  {label.ljust(label_width)} {bar} "
+                     f"{value:.3g}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(title: str, groups: Sequence[str],
+                      series: Dict[str, Sequence[float]],
+                      width: int = 40) -> str:
+    """One cluster of bars per group — the Figure 8/9 layout.
+
+    Raises:
+        ValueError: when a series' length does not match the groups.
+    """
+    for name, values in series.items():
+        if len(values) != len(groups):
+            raise ValueError(f"series {name!r} has {len(values)} values "
+                             f"for {len(groups)} groups")
+    peak = max((value for values in series.values() for value in values),
+               default=1.0) or 1.0
+    name_width = max(len(name) for name in series)
+    lines = [title]
+    for index, group in enumerate(groups):
+        lines.append(f"  {group}")
+        for name, values in series.items():
+            filled = round(values[index] / peak * width)
+            lines.append(f"    {name.ljust(name_width)} "
+                         f"{'#' * filled} {values[index]:.3g}")
+    return "\n".join(lines)
+
+
+def line_chart(title: str, series: Dict[str, List[Tuple[float, float]]],
+               width: int = 60, height: int = 12) -> str:
+    """Down-sampled multi-series line chart (Figure 13a's curves).
+
+    Each series is a list of (x, y) points; y is assumed in [0, 1] unless
+    larger values force rescaling.
+    """
+    if not series or not any(series.values()):
+        raise ValueError("line chart needs at least one point")
+    xs = [x for points in series.values() for x, _ in points]
+    ys = [y for points in series.values() for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_high = max(1.0, max(ys))
+    x_span = (x_high - x_low) or 1
+    grid = [[" "] * width for _ in range(height)]
+    markers = "abcdefghij"
+    legend = []
+    for index, (name, points) in enumerate(sorted(series.items())):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker}={name}")
+        for x, y in points:
+            column = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round(y / y_high * (height - 1))
+            grid[row][column] = marker
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        level = (height - 1 - row_index) / (height - 1) * y_high
+        lines.append(f"  {level:4.2f} |" + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append(f"        {x_low:<{width // 2}}{x_high:>{width // 2}}")
+    lines.append("  " + "  ".join(legend))
+    return "\n".join(lines)

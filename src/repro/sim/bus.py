@@ -1,0 +1,114 @@
+"""The main-channel link bus used by SDIMM designs.
+
+In an SDIMM system the CPU's memory channel no longer carries path
+shuffles, only protocol messages: encrypted blocks (ACCESS payloads,
+FETCH_RESULT returns, APPENDs), metadata lines (Split), and short commands.
+
+The bus is a slotted resource with *backfill*: the memory controller packs
+a message into the earliest idle gap at or after its requested time, so a
+response scheduled far in the future (the SDIMM is still shuffling) does
+not block an unrelated request from using the idle bus in between.  Busy
+intervals are kept sorted and disjoint; :meth:`advance` prunes intervals
+that can no longer be backfilled because simulation time has passed them.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Tuple
+
+
+class LinkBus:
+    """One DDR channel's data bus as seen by the SDIMM protocols."""
+
+    def __init__(self, burst_cycles: int, command_cycles: int = 1,
+                 name: str = "bus"):
+        if burst_cycles < 1:
+            raise ValueError("burst must take at least one cycle")
+        self.name = name
+        self.burst_cycles = burst_cycles
+        self.command_cycles = command_cycles
+        self._busy: List[Tuple[int, int]] = []   # sorted disjoint intervals
+        self._prune_before = 0
+        self.block_transfers = 0
+        self.line_transfers = 0
+        self.command_slots = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------
+
+    def reserve_block(self, earliest: int) -> Tuple[int, int]:
+        """Transfer one 64 B block (plus its command); returns (start, end)."""
+        self.block_transfers += 1
+        return self._reserve(earliest,
+                             self.burst_cycles + self.command_cycles)
+
+    def reserve_lines(self, earliest: int, count: int) -> Tuple[int, int]:
+        """Transfer ``count`` cache-line-sized bursts back to back."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return earliest, earliest
+        self.line_transfers += count
+        return self._reserve(earliest, count * self.burst_cycles)
+
+    def command_slot(self, earliest: int) -> int:
+        """A short command (PROBE and friends) on the command bus."""
+        self.command_slots += 1
+        # command/address wires are separate from data; no data-bus time
+        return max(earliest, 0)
+
+    def advance(self, now: int) -> None:
+        """Tell the bus simulation time reached ``now``.
+
+        Intervals ending before ``now`` can never be backfilled again (all
+        future requests ask for ``earliest >= now``), so they are dropped to
+        keep allocation fast.
+        """
+        self._prune_before = max(self._prune_before, now)
+        if self._busy and self._busy[0][1] < self._prune_before:
+            self._busy = [interval for interval in self._busy
+                          if interval[1] >= self._prune_before]
+
+    # ------------------------------------------------------------------
+
+    def _reserve(self, earliest: int, duration: int) -> Tuple[int, int]:
+        earliest = max(earliest, 0)
+        start = self._find_gap(earliest, duration)
+        self._insert(start, start + duration)
+        self.busy_cycles += duration
+        return start, start + duration
+
+    def _find_gap(self, earliest: int, duration: int) -> int:
+        candidate = earliest
+        # skip intervals that end at or before the candidate
+        index = bisect.bisect_right(self._busy, (candidate, candidate)) - 1
+        index = max(index, 0)
+        for busy_start, busy_end in self._busy[index:]:
+            if busy_end <= candidate:
+                continue
+            if busy_start - candidate >= duration:
+                return candidate
+            candidate = max(candidate, busy_end)
+        return candidate
+
+    def _insert(self, start: int, end: int) -> None:
+        index = bisect.bisect_left(self._busy, (start, end))
+        self._busy.insert(index, (start, end))
+        # merge neighbours touching this interval
+        merged: List[Tuple[int, int]] = []
+        for interval in self._busy:
+            if merged and interval[0] <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], interval[1]))
+            else:
+                merged.append(interval)
+        self._busy = merged
+
+    @property
+    def free_at(self) -> int:
+        """End of the last reservation (idle gaps may exist before it)."""
+        return self._busy[-1][1] if self._busy else 0
+
+    @property
+    def total_transfers(self) -> int:
+        return self.block_transfers + self.line_transfers

@@ -1,0 +1,146 @@
+"""Co-resident non-secure traffic (the paper's un-evaluated claim).
+
+Section III-A(3): SDIMMs and LRDIMMs "co-reside on the same memory
+channel", and "since an SDIMM handles most data movement locally, it does
+not negatively impact the bandwidth available to a co-resident VM";
+Section IV-B adds that the freed channel "can lead to lower latency for
+memory accesses by other non-secure threads (not evaluated in this
+study)".  This module evaluates it.
+
+Model: one memory channel hosts both the secure design's traffic and an
+ordinary LRDIMM serving a non-secure VM.
+
+* Under **Freecursive**, ORAM path bursts occupy the shared data bus
+  directly, so VM requests are scheduled on the *same* channel object and
+  contend for the bus with every path read/write.
+* Under an **SDIMM design**, the shared bus carries only protocol
+  messages; the VM's LRDIMM has the bus almost to itself.  VM requests
+  run on their own DIMM's bank machinery and reserve their data burst on
+  the shared :class:`~repro.sim.bus.LinkBus` alongside the messages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.config import DesignPoint, table2_config
+from repro.dram.address import AddressMapper
+from repro.dram.channel import Channel
+from repro.sim.backends import FreecursiveBackend, NonSecureBackend
+from repro.sim.bus import LinkBus
+from repro.sim.events import EventQueue
+from repro.sim.stats import LatencyStats
+from repro.sim.system import build_backend
+from repro.utils.rng import DeterministicRng
+
+
+@dataclasses.dataclass
+class CoResidentResult:
+    """Latency seen by the non-secure VM under one secure design's load."""
+
+    design: str
+    vm_latency: LatencyStats
+    oram_accesses: int
+
+    @property
+    def mean_latency(self) -> float:
+        return self.vm_latency.mean
+
+
+class CoResidentExperiment:
+    """Drive an ORAM design at load while timing a co-resident VM."""
+
+    def __init__(self, design: DesignPoint, seed: int = 2018,
+                 oram_interval: int = 400, vm_interval: int = 900):
+        self.design = design
+        self.events = EventQueue()
+        self.config = table2_config(design, channels=1, seed=seed)
+        self.backend = build_backend(self.config, self.events)
+        self.oram_interval = oram_interval
+        self.vm_interval = vm_interval
+        self._rng = DeterministicRng(seed, "coresident")
+        self._vm_channel = self._make_vm_channel()
+        self._vm_mapper = (AddressMapper(self._vm_channel.organization,
+                                         self.config.oram.block_bytes)
+                           if self._vm_channel is not None else None)
+        self._shared_bus = self._find_shared_bus()
+        self.vm_latency = LatencyStats()
+
+    def _make_vm_channel(self) -> Optional[Channel]:
+        """The VM's own LRDIMM, for SDIMM designs (bank-side uncontended)."""
+        if isinstance(self.backend, (FreecursiveBackend, NonSecureBackend)):
+            return None
+        organization = dataclasses.replace(self.config.organization,
+                                           dimms_per_channel=1)
+        return Channel(self.config.timing, organization,
+                       scale=self.config.cpu.cpu_cycles_per_mem_cycle,
+                       refresh_enabled=self.config.refresh_enabled,
+                       name="vm-lrdimm")
+
+    def _find_shared_bus(self) -> Optional[LinkBus]:
+        return self.backend.buses[0] if self.backend.buses else None
+
+    # ------------------------------------------------------------------
+
+    def _vm_access(self, now: int) -> int:
+        """One VM read; returns its completion cycle."""
+        if self._vm_channel is None:
+            # Freecursive / non-secure: share the design's own channel.
+            channel = self.backend.channels[0]
+            mapper = AddressMapper(channel.organization,
+                                   self.config.oram.block_bytes)
+            line = self._rng.randrange(mapper.lines_per_channel)
+            timing = channel.schedule_access(mapper.decode(line), False,
+                                             now)
+            return timing.data_end
+        line = self._rng.randrange(self._vm_mapper.lines_per_channel)
+        timing = self._vm_channel.schedule_access(
+            self._vm_mapper.decode(line), False, now)
+        if self._shared_bus is None:
+            return timing.data_end
+        # the burst must also cross the shared channel bus
+        _, end = self._shared_bus.reserve_lines(timing.data_end -
+                                                self._burst_cycles(), 1)
+        return max(end, timing.data_end)
+
+    def _burst_cycles(self) -> int:
+        return (self.config.timing.tburst *
+                self.config.cpu.cpu_cycles_per_mem_cycle)
+
+    # ------------------------------------------------------------------
+
+    def run(self, oram_requests: int = 200,
+            vm_requests: int = 150) -> CoResidentResult:
+        """Schedule both request streams and run the event simulation."""
+        address_rng = self._rng.child("oram-addresses")
+        for index in range(oram_requests):
+            arrival = index * self.oram_interval
+
+            def submit(now=arrival):
+                self.backend.submit(address_rng.randrange(1 << 22), now,
+                                    is_write=False)
+
+            self.events.at(arrival, submit)
+
+        for index in range(vm_requests):
+            arrival = index * self.vm_interval + 17  # offset from ORAM grid
+
+            def probe(now=arrival):
+                completion = self._vm_access(now)
+                self.vm_latency.record(max(0, completion - now))
+
+            self.events.at(arrival, probe)
+
+        self.events.run()
+        return CoResidentResult(self.design.value, self.vm_latency,
+                                self.backend.counters.accessorams)
+
+
+def compare_designs(designs: List[DesignPoint] = (
+        DesignPoint.NONSECURE, DesignPoint.FREECURSIVE,
+        DesignPoint.INDEP_2, DesignPoint.SPLIT_2),
+        seed: int = 2018, **kwargs) -> List[CoResidentResult]:
+    """Run the experiment for each design; NONSECURE gives the floor."""
+    return [CoResidentExperiment(design, seed=seed, **kwargs).run()
+            for design in designs]

@@ -1,0 +1,200 @@
+"""Event-driven trace CPU: LLC, in-order miss window, warm-up discipline.
+
+Models the in-order 1.6 GHz core of Table II at trace granularity: each
+record's gap is compute time; an LLC hit costs the 10-cycle LLC latency; a
+miss occupies one of the core's outstanding-miss slots (the workload's MLP
+bound) until the memory backend completes it.  Slots retire *in order* —
+the oldest miss gates the window, as an in-order ROB does — while the
+backend completes misses whenever its resources produce them.  Dirty LLC
+victims are posted to the backend without blocking the core.
+
+Following the paper's methodology, the run warms up the LLC (and the
+backend's PLB and row buffers) before the measured window begins.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Optional
+
+from repro.cache.cache import SetAssociativeCache
+from repro.config import SystemConfig
+from repro.sim.events import EventQueue
+from repro.sim.stats import LatencyStats, RunResult
+from repro.workloads.trace import TraceRecord
+
+
+class _MissSlot:
+    """One in-flight demand miss in the core's window."""
+
+    __slots__ = ("issue_cycle", "completion", "measured")
+
+    def __init__(self, issue_cycle: int, measured: bool):
+        self.issue_cycle = issue_cycle
+        self.completion: Optional[int] = None
+        self.measured = measured
+
+
+class SimulationDriver:
+    """Runs one trace through one backend and collects statistics.
+
+    ``window_policy`` selects how miss-window slots retire: ``"in-order"``
+    (default, Table II's in-order core — the oldest miss gates the window)
+    or ``"out-of-order"`` (any completion frees a slot — an aggressive
+    OoO core's behaviour, used to quantify how much of the SDIMM designs'
+    headroom the in-order window leaves on the table).
+    """
+
+    def __init__(self, config: SystemConfig, backend, events: EventQueue,
+                 mlp: int, workload_name: str = "workload",
+                 window_policy: str = "in-order"):
+        if window_policy not in ("in-order", "out-of-order"):
+            raise ValueError(f"unknown window policy {window_policy!r}")
+        self.config = config
+        self.backend = backend
+        self.events = events
+        self.mlp = max(1, mlp)
+        self.window_policy = window_policy
+        self.workload_name = workload_name
+        self.llc = SetAssociativeCache(
+            capacity_bytes=config.cpu.llc_bytes,
+            line_bytes=config.cpu.llc_line_bytes,
+            associativity=config.cpu.llc_assoc,
+            name="llc")
+        # run state
+        self._records: Optional[Iterator[TraceRecord]] = None
+        self._window: deque = deque()
+        self._cpu_clock = 0
+        self._blocked = False
+        self._warmup_records = 0
+        self._record_index = 0
+        self._window_start_cycle = 0
+        self._accessorams_at_window = 0
+        self._measured_misses = 0
+        self._measured_hits = 0
+        self._latency = LatencyStats()
+        self._final_cycle = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Iterable[TraceRecord],
+            warmup_records: int = 0) -> RunResult:
+        """Execute the trace; statistics cover the post-warm-up window."""
+        self._records = iter(trace)
+        self._warmup_records = warmup_records
+        self.events.at(0, self._issue_loop)
+        self.events.run()
+        end = max(self._final_cycle, self.events.now)
+        self.backend.finalize(end)
+        return self._build_result(end)
+
+    # ------------------------------------------------------------------
+    # The core's issue process
+    # ------------------------------------------------------------------
+
+    def _issue_loop(self) -> None:
+        """Consume records until the miss window blocks or the trace ends."""
+        while True:
+            if len(self._window) >= self.mlp:
+                self._blocked = True
+                return  # resume from _on_completion when the head retires
+            record = next(self._records, None)
+            if record is None:
+                self._final_cycle = max(self._final_cycle, self._cpu_clock)
+                return
+            self._step(record)
+
+    def _step(self, record: TraceRecord) -> None:
+        if self._record_index == self._warmup_records:
+            self._begin_measurement()
+        self._record_index += 1
+        measuring = self._record_index > self._warmup_records
+
+        self._cpu_clock += record.gap_cycles
+        result = self.llc.access(record.line_address, record.is_write)
+        if result.hit:
+            self._cpu_clock += self.config.cpu.llc_latency_cycles
+            if measuring:
+                self._measured_hits += 1
+            return
+        if result.victim_dirty and result.victim_address is not None:
+            # posted ORAM/DRAM write for the dirty victim
+            self.backend.submit(result.victim_address, self._cpu_clock,
+                                is_write=True)
+        slot = _MissSlot(self._cpu_clock, measuring)
+        self._window.append(slot)
+        self.backend.submit(record.line_address, self._cpu_clock,
+                            is_write=False,
+                            on_complete=lambda finish, s=slot:
+                            self._on_completion(s, finish))
+
+    def _on_completion(self, slot: _MissSlot, finish: int) -> None:
+        slot.completion = finish
+        if self.window_policy == "out-of-order":
+            self._window.remove(slot)
+            self._retire(slot)
+        else:
+            # in-order retire: pop every completed miss at the window head
+            while self._window and self._window[0].completion is not None:
+                self._retire(self._window.popleft())
+        if self._blocked and len(self._window) < self.mlp:
+            self._blocked = False
+            self._cpu_clock = max(self._cpu_clock, self.events.now)
+            self._issue_loop()
+
+    def _retire(self, slot: _MissSlot) -> None:
+        if slot.measured:
+            self._measured_misses += 1
+            self._latency.record(max(0, slot.completion - slot.issue_cycle))
+        if self.window_policy == "in-order":
+            # commit order: the core cannot run past an unretired miss
+            self._cpu_clock = max(self._cpu_clock, slot.completion)
+        self._final_cycle = max(self._final_cycle, slot.completion)
+
+    # ------------------------------------------------------------------
+
+    def _begin_measurement(self) -> None:
+        self._window_start_cycle = self._cpu_clock
+        self._accessorams_at_window = self.backend.counters.accessorams
+        for bus in self.backend.buses:
+            bus.block_transfers = 0
+            bus.line_transfers = 0
+            bus.command_slots = 0
+            bus.busy_cycles = 0
+
+    def _build_result(self, end: int) -> RunResult:
+        execution = end - self._window_start_cycle
+        total = self._measured_hits + self._measured_misses
+        return RunResult(
+            design=self.config.design.value,
+            workload=self.workload_name,
+            execution_cycles=execution,
+            miss_count=self._measured_misses,
+            accessoram_count=(self.backend.counters.accessorams -
+                              self._accessorams_at_window),
+            llc_hit_rate=self._measured_hits / total if total else 0.0,
+            miss_latency=self._latency,
+            channel_counters=[
+                dict(channel.counters.as_dict(),
+                     on_dimm=int(channel.on_dimm))
+                for channel in self.backend.channels],
+            on_dimm_counters=[channel.counters.as_dict()
+                              for channel in self.backend.channels
+                              if channel.on_dimm],
+            main_bus_lines=sum(bus.total_transfers
+                               for bus in self.backend.buses),
+            probe_commands=self.backend.counters.probe_commands,
+            drain_accesses=self.backend.counters.drain_accesses,
+            rank_residencies=self._residencies(),
+        )
+
+    def _residencies(self):
+        residencies = []
+        for channel in self.backend.channels:
+            for rank in channel.ranks:
+                entry = {state.value: cycles
+                         for state, cycles in rank.state_residency.items()}
+                entry["refreshes"] = rank.refresh_count
+                entry["power_down_exits"] = rank.power_down_exits
+                residencies.append(entry)
+        return residencies

@@ -1,0 +1,101 @@
+"""Discrete-event core: the event queue and serially-reusable resources.
+
+The ORAM backends are networks of exclusive resources (SDIMM internal
+channels, the serial Freecursive backend, split groups) fed by dependency
+chains (PosMap walks).  Correct overlap — one chain's op filling the gap
+another chain left on a device — requires executing work in *time* order,
+not call order, so the simulator is event-driven: callbacks fire in
+timestamp order, and each :class:`WorkQueue` starts queued jobs exactly
+when its resource falls idle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Callable, Deque, List, Optional, Tuple
+
+
+class EventQueue:
+    """A classic discrete-event scheduler."""
+
+    def __init__(self):
+        self._heap: List[Tuple[int, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self.now = 0
+
+    def at(self, time: int, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when simulated time reaches ``time``."""
+        if time < self.now:
+            time = self.now
+        self._sequence += 1
+        heapq.heappush(self._heap, (time, self._sequence, callback))
+
+    def run(self) -> int:
+        """Drain all events; returns the final simulation time."""
+        while self._heap:
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = max(self.now, time)
+            callback()
+        return self.now
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+
+class WorkQueue:
+    """FIFO work dispatch for an exclusive resource.
+
+    A job is ``work(start_cycle) -> finish_cycle`` plus a completion
+    callback.  Jobs run back to back in arrival order; ``work`` executes at
+    the moment the resource picks the job up, so stateful timing models
+    (bank machines, row buffers) see operations in true time order.
+    """
+
+    def __init__(self, events: EventQueue, name: str = "resource"):
+        self.events = events
+        self.name = name
+        self._queue: Deque = deque()
+        self._busy = False
+        self.jobs_started = 0
+        self.busy_until = 0
+
+    def enqueue(self, arrival: int, work: Callable[[int], int],
+                done: Optional[Callable[[int], None]] = None) -> None:
+        self._queue.append((arrival, work, done))
+        if not self._busy:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        arrival, work, done = self._queue[0]
+        start = max(self.events.now, arrival)
+        if start > self.events.now:
+            # resource idles until the job's inputs arrive
+            self._busy = True
+            self.events.at(start, self._start_next_now)
+            return
+        self._queue.popleft()
+        self._busy = True
+        self.jobs_started += 1
+        finish = work(start)
+        self.busy_until = finish
+        self.events.at(finish, lambda: self._finish(finish, done))
+
+    def _start_next_now(self) -> None:
+        self._busy = False
+        self._start_next()
+
+    def _finish(self, finish: int,
+                done: Optional[Callable[[int], None]]) -> None:
+        if done is not None:
+            done(finish)
+        self._busy = False
+        self._start_next()
+
+    @property
+    def depth(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,111 @@
+"""Result containers and summary statistics for simulation runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class LatencyStats:
+    """Streaming latency accumulator (per-miss service latency)."""
+
+    count: int = 0
+    total: int = 0
+    maximum: int = 0
+    samples: List[int] = field(default_factory=list)
+    sample_cap: int = 100_000
+
+    def record(self, latency: int) -> None:
+        self.count += 1
+        self.total += latency
+        self.maximum = max(self.maximum, latency)
+        if len(self.samples) < self.sample_cap:
+            self.samples.append(latency)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> int:
+        if not self.samples:
+            return 0
+        ordered = sorted(self.samples)
+        index = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[index]
+
+
+@dataclass
+class RunResult:
+    """Everything one simulation run produced."""
+
+    design: str
+    workload: str
+    execution_cycles: int
+    miss_count: int
+    accessoram_count: int
+    llc_hit_rate: float
+    miss_latency: LatencyStats
+    #: per-channel DRAM event counters (main channels then SDIMM-internal)
+    channel_counters: List[Dict[str, int]]
+    #: counters from SDIMM-internal channels only
+    on_dimm_counters: List[Dict[str, int]]
+    #: main-channel bus traffic (SDIMM designs) in line-equivalents
+    main_bus_lines: int
+    probe_commands: int
+    drain_accesses: int
+    #: rank state residency per channel for the energy model
+    rank_residencies: List[Dict[str, int]] = field(default_factory=list)
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def cycles_per_miss(self) -> float:
+        return (self.execution_cycles / self.miss_count
+                if self.miss_count else 0.0)
+
+    @property
+    def accessorams_per_miss(self) -> float:
+        return (self.accessoram_count / self.miss_count
+                if self.miss_count else 0.0)
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """How much faster this run is than ``baseline`` (>1 = faster)."""
+        if self.execution_cycles == 0:
+            return float("inf")
+        return baseline.execution_cycles / self.execution_cycles
+
+    def normalized_time(self, baseline: "RunResult") -> float:
+        """Execution time normalized to ``baseline`` (<1 = faster)."""
+        if baseline.execution_cycles == 0:
+            return float("inf")
+        return self.execution_cycles / baseline.execution_cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary (for tooling and result archives)."""
+        return {
+            "design": self.design,
+            "workload": self.workload,
+            "execution_cycles": self.execution_cycles,
+            "miss_count": self.miss_count,
+            "accessoram_count": self.accessoram_count,
+            "accessorams_per_miss": self.accessorams_per_miss,
+            "llc_hit_rate": self.llc_hit_rate,
+            "mean_miss_latency": self.miss_latency.mean,
+            "p95_miss_latency": self.miss_latency.percentile(0.95),
+            "main_bus_lines": self.main_bus_lines,
+            "probe_commands": self.probe_commands,
+            "drain_accesses": self.drain_accesses,
+            "channel_counters": self.channel_counters,
+        }
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean, the standard aggregate for normalized times."""
+    if not values:
+        raise ValueError("need at least one value")
+    if any(value <= 0 for value in values):
+        raise ValueError("geometric mean requires positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

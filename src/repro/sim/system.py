@@ -1,0 +1,105 @@
+"""Full-system assembly: config + workload -> one measured run.
+
+This is the USIMM-equivalent entry point the benchmarks call: pick a
+design point (Figure 7), build its backend, generate the workload's miss
+trace, warm up, and measure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import DesignPoint, SystemConfig
+from repro.sim.backends import BACKEND_CLASSES
+from repro.sim.cpu import SimulationDriver
+from repro.sim.events import EventQueue
+from repro.sim.stats import RunResult
+from repro.workloads.spec import WorkloadProfile, get_profile
+from repro.workloads.synthetic import iterate_trace
+
+
+def build_backend(config: SystemConfig, events: Optional[EventQueue] = None):
+    """Instantiate the memory backend for a validated configuration."""
+    config.validate()
+    backend_class = BACKEND_CLASSES.get(config.design)
+    if backend_class is None:
+        raise ValueError(f"no backend for design {config.design}")
+    return backend_class(config, events if events is not None
+                         else EventQueue())
+
+
+def run_simulation(config: SystemConfig,
+                   workload,
+                   trace_length: int = 20_000,
+                   warmup_records: Optional[int] = None,
+                   trace_seed: int = 2018,
+                   window_policy: str = "in-order") -> RunResult:
+    """Run one (design, workload) pair and return its measurements.
+
+    ``workload`` is a profile name from :data:`repro.workloads.SPEC_PROFILES`
+    or a :class:`~repro.workloads.spec.WorkloadProfile`.  Following the
+    paper's methodology the first portion of the trace warms the LLC/PLB
+    and DRAM state; measurements cover the remainder.  The paper uses
+    1M + 1M accesses — scale ``trace_length`` up for higher fidelity runs
+    (the default keeps a full benchmark sweep tractable in pure Python).
+    """
+    if isinstance(workload, WorkloadProfile):
+        profile = workload
+    else:
+        profile = get_profile(workload)
+    if warmup_records is None:
+        warmup_records = trace_length // 3
+    if warmup_records >= trace_length:
+        raise ValueError("warm-up must leave a measurement window")
+
+    events = EventQueue()
+    backend = build_backend(config, events)
+    driver = SimulationDriver(config, backend, events, mlp=profile.mlp,
+                              workload_name=profile.name,
+                              window_policy=window_policy)
+    trace = iterate_trace(profile, trace_length, seed=trace_seed)
+    return driver.run(trace, warmup_records=warmup_records)
+
+
+def run_trace_file(config: SystemConfig, path: str, mlp: int = 4,
+                   warmup_records: int = 0,
+                   window_policy: str = "in-order") -> RunResult:
+    """Run a trace previously saved with
+    :func:`repro.workloads.trace.save_trace` (or captured elsewhere in the
+    same format) through any design point."""
+    from repro.workloads.trace import load_trace
+
+    records = load_trace(path)
+    if warmup_records >= len(records):
+        raise ValueError("warm-up must leave a measurement window")
+    events = EventQueue()
+    backend = build_backend(config, events)
+    driver = SimulationDriver(config, backend, events, mlp=mlp,
+                              workload_name=path,
+                              window_policy=window_policy)
+    return driver.run(records, warmup_records=warmup_records)
+
+
+def run_design_comparison(designs, workload, channels: int,
+                          config_factory,
+                          trace_length: int = 20_000,
+                          **kwargs) -> dict:
+    """Run several designs on one workload with a shared config factory.
+
+    ``config_factory(design, channels)`` builds the configuration (e.g.
+    :func:`repro.config.table2_config`).  Returns {design: RunResult}.
+    """
+    results = {}
+    for design in designs:
+        config = config_factory(design, channels)
+        results[design] = run_simulation(config, workload,
+                                         trace_length=trace_length, **kwargs)
+    return results
+
+
+#: The designs of Figure 8 (single channel) and Figure 9 (double channel),
+#: with the baselines they are normalized against.
+FIGURE8_DESIGNS = (DesignPoint.FREECURSIVE, DesignPoint.INDEP_2,
+                   DesignPoint.SPLIT_2)
+FIGURE9_DESIGNS = (DesignPoint.FREECURSIVE, DesignPoint.INDEP_4,
+                   DesignPoint.SPLIT_4, DesignPoint.INDEP_SPLIT)

@@ -1,0 +1,72 @@
+"""The synthetic miss-stream generator.
+
+Blends three access modes according to the profile:
+
+* *streaming runs* — sequential line addresses with geometric run lengths
+  (spatial locality; produces LLC hits and DRAM row hits),
+* *hot-set references* — Zipf-weighted draws from a small reuse set
+  (temporal locality; drives the PLB and LLC hit rates), and
+* *cold random* — uniform draws over the whole footprint.
+
+Gaps between misses are exponential around the profile mean, which is what
+an in-order core's miss arrivals look like at trace granularity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.utils.rng import DeterministicRng, ZipfSampler
+from repro.workloads.spec import WorkloadProfile
+from repro.workloads.trace import TraceRecord
+
+_LINE_BYTES = 64
+
+
+def generate_trace(profile: WorkloadProfile, length: int,
+                   seed: int = 2018) -> List[TraceRecord]:
+    """Generate ``length`` miss records for ``profile``."""
+    return list(iterate_trace(profile, length, seed))
+
+
+def iterate_trace(profile: WorkloadProfile, length: int,
+                  seed: int = 2018) -> Iterator[TraceRecord]:
+    """Stream miss records without materializing the whole trace."""
+    rng = DeterministicRng(seed, f"trace-{profile.name}")
+    footprint_lines = max(1, profile.footprint_bytes // _LINE_BYTES)
+    hot_lines = min(profile.hot_lines, footprint_lines)
+    hot_sampler = ZipfSampler(rng.child("hot"), hot_lines, 0.9)
+    # The hot set is a contiguous region (heap/stack-like): dense in both
+    # LLC sets and PosMap blocks, which is what gives real programs their
+    # PLB hit rates.
+    hot_base = rng.randrange(max(1, footprint_lines - hot_lines))
+
+    # The profile states record *fractions*; a run of mean length R is
+    # started with a lower per-decision probability so that run members
+    # make up sequential_fraction of all records.
+    fresh_fraction = 1.0 - profile.sequential_fraction
+    start_weight = profile.sequential_fraction / profile.run_length
+    run_start_probability = (start_weight /
+                             (start_weight + fresh_fraction)
+                             if fresh_fraction > 0 else 1.0)
+    hot_probability = (min(1.0, profile.hot_fraction / fresh_fraction)
+                       if fresh_fraction > 0 else 0.0)
+
+    position = rng.randrange(footprint_lines)
+    run_remaining = 0
+    for _ in range(length):
+        if run_remaining > 0:
+            run_remaining -= 1
+            position = (position + 1) % footprint_lines
+        elif rng.bernoulli(run_start_probability):
+            run_remaining = max(1, int(rng.expovariate(
+                1.0 / profile.run_length)))
+            position = (position + 1) % footprint_lines
+        elif rng.bernoulli(hot_probability):
+            position = (hot_base + hot_sampler.sample()) % footprint_lines
+        else:
+            position = rng.randrange(footprint_lines)
+
+        gap = int(rng.expovariate(1.0 / profile.mean_gap_cycles))
+        is_write = rng.bernoulli(profile.write_fraction)
+        yield TraceRecord(gap, position, is_write)

@@ -1,0 +1,60 @@
+"""Trace records: the L1-miss stream fed to the cycle-level simulator.
+
+A record is (gap, line address, is_write): ``gap`` is the number of CPU
+cycles of useful work between the previous L1 miss and this one (the
+in-order core of Table II retires roughly one instruction per cycle, so
+instruction gaps and cycle gaps coincide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One L1-miss event."""
+
+    gap_cycles: int
+    line_address: int
+    is_write: bool
+
+    def __post_init__(self):
+        if self.gap_cycles < 0:
+            raise ValueError("gap must be non-negative")
+        if self.line_address < 0:
+            raise ValueError("address must be non-negative")
+
+
+def save_trace(records: Iterable[TraceRecord], path: str) -> int:
+    """Write records as `gap address r|w` lines; returns the record count."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in records:
+            kind = "w" if record.is_write else "r"
+            handle.write(f"{record.gap_cycles} {record.line_address:x} "
+                         f"{kind}\n")
+            count += 1
+    return count
+
+
+def load_trace(path: str) -> List[TraceRecord]:
+    """Read a trace written by :func:`save_trace`.
+
+    Raises:
+        ValueError: on malformed lines.
+    """
+    records = []
+    with open(path) as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[2] not in ("r", "w"):
+                raise ValueError(f"{path}:{line_number}: malformed trace "
+                                 f"line {line!r}")
+            records.append(TraceRecord(int(parts[0]), int(parts[1], 16),
+                                       parts[2] == "w"))
+    return records

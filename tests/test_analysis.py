@@ -1,0 +1,174 @@
+"""Tests for the Section IV analytical models (Figure 13 + traffic)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.queueing import (
+    drain_utilization,
+    mm1k_full_probability,
+    transfer_queue_overflow_probability,
+)
+from repro.analysis.random_walk import (
+    displacement_curve,
+    displacement_exceedance_probability,
+    expected_displacement,
+    first_passage_curve,
+    first_passage_overflow_probability,
+)
+from repro.analysis.traffic import (
+    baseline_lines_per_access,
+    independent_traffic,
+    split_traffic,
+)
+from repro.config import OramConfig, SdimmConfig
+
+
+class TestRandomWalk:
+    def test_small_buffer_saturated_fast(self):
+        """Figure 13a: the 16-entry buffer curve is ~97% by 100K steps."""
+        probability = displacement_exceedance_probability(16, 100_000)
+        assert probability > 0.9
+
+    def test_paper_800k_points(self):
+        """Figure 13a at 800K steps: ~91% (64), ~70% (256), ~10% (1024)."""
+        assert displacement_exceedance_probability(64, 800_000) == \
+            pytest.approx(0.91, abs=0.04)
+        assert displacement_exceedance_probability(256, 800_000) == \
+            pytest.approx(0.70, abs=0.05)
+        assert displacement_exceedance_probability(1024, 800_000) == \
+            pytest.approx(0.10, abs=0.04)
+
+    def test_exact_and_normal_regimes_agree(self):
+        """The exact DP and the normal approximation must agree near the
+        regime boundary."""
+        exact = displacement_exceedance_probability(20, 4_000)
+        sigma = (0.5 * 4_000) ** 0.5
+        import math
+        approx = math.erfc((20.5 / sigma) / math.sqrt(2))
+        assert exact == pytest.approx(approx, abs=0.02)
+
+    def test_displacement_curve_monotone(self):
+        curve = displacement_curve(32, 50_000, points=5)
+        probabilities = [probability for _, probability in curve]
+        assert probabilities == sorted(probabilities)
+        assert len(curve) == 5
+
+    def test_monotone_in_threshold(self):
+        small = displacement_exceedance_probability(16, 20_000)
+        large = displacement_exceedance_probability(64, 20_000)
+        assert small > large
+
+    def test_first_passage_dominates_displacement(self):
+        """Ever-exceeded is at least as likely as currently-exceeded."""
+        threshold, steps = 16, 3_000
+        assert first_passage_overflow_probability(threshold, steps) >= \
+            displacement_exceedance_probability(threshold, steps)
+
+    def test_first_passage_curve_monotone(self):
+        curve = first_passage_curve(32, 50_000, sample_every=10_000)
+        probabilities = [probability for _, probability in curve]
+        assert probabilities == sorted(probabilities)
+
+    def test_first_passage_saturates(self):
+        """An undrained queue overflows with probability heading to 1."""
+        assert first_passage_overflow_probability(8, 50_000) > 0.99
+
+    def test_drain_bias_reduces_first_passage(self):
+        lazy = first_passage_overflow_probability(16, 20_000)
+        drained = first_passage_overflow_probability(16, 20_000,
+                                                     p_gain=0.2,
+                                                     p_loss=0.3)
+        assert drained < lazy
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            displacement_exceedance_probability(0, 100)
+        with pytest.raises(ValueError):
+            displacement_exceedance_probability(8, 0)
+        with pytest.raises(ValueError):
+            first_passage_overflow_probability(8, 100, p_gain=0.9,
+                                               p_loss=0.9)
+
+    def test_expected_displacement(self):
+        assert expected_displacement(800_000) == pytest.approx(632.45,
+                                                               rel=0.01)
+        assert expected_displacement(0) == 0.0
+
+
+class TestQueueing:
+    def test_paper_utilization_formula(self):
+        assert drain_utilization(0.05) == pytest.approx(0.25 / 0.30)
+        assert drain_utilization(0.0) == 1.0
+
+    def test_saturated_queue_uniform(self):
+        assert mm1k_full_probability(1.0, 9) == pytest.approx(0.1)
+
+    def test_small_p_small_queue_rarely_overflows(self):
+        """Figure 13b: 'even a small queue has a very small overflow rate
+        if we occasionally service an incoming block'."""
+        assert transfer_queue_overflow_probability(0.1, 64) < 1e-9
+        assert transfer_queue_overflow_probability(0.05, 128) < 1e-9
+
+    def test_no_drain_saturates(self):
+        assert transfer_queue_overflow_probability(0.0, 64) == \
+            pytest.approx(1 / 65)
+
+    def test_monotone_in_drain_probability(self):
+        values = [transfer_queue_overflow_probability(p, 16)
+                  for p in (0.0, 0.02, 0.05, 0.1, 0.3)]
+        assert values == sorted(values, reverse=True)
+
+    def test_monotone_in_capacity(self):
+        values = [transfer_queue_overflow_probability(0.05, capacity)
+                  for capacity in (4, 16, 64)]
+        assert values == sorted(values, reverse=True)
+
+    @given(st.floats(min_value=0.0, max_value=0.99),
+           st.integers(min_value=1, max_value=200))
+    def test_probability_bounds(self, rho, capacity):
+        probability = mm1k_full_probability(rho, capacity)
+        assert 0.0 <= probability <= 1.0
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            drain_utilization(-0.1)
+        with pytest.raises(ValueError):
+            mm1k_full_probability(0.5, 0)
+
+
+class TestTraffic:
+    ORAM = OramConfig(levels=28, cached_levels=7)
+
+    def test_baseline_formula(self):
+        """2 (Z+1) L: the paper's count for Freecursive."""
+        assert baseline_lines_per_access(self.ORAM, 7) == 2 * 5 * 21
+
+    def test_independent_is_one_read_n_plus_one_writes(self):
+        traffic = independent_traffic(self.ORAM, SdimmConfig(), 4, 7)
+        assert traffic.data_lines == 6  # 1 + 1 + 4, the paper's "1r 5w"
+
+    def test_independent_fraction_near_paper(self):
+        """Paper: 4.2% (INDEP-2) and 7.8% (INDEP-4) with probes."""
+        two = independent_traffic(self.ORAM, SdimmConfig(), 2, 7)
+        four = independent_traffic(self.ORAM, SdimmConfig(), 4, 7)
+        assert 0.02 < two.fraction_of_baseline < 0.08
+        assert 0.03 < four.fraction_of_baseline < 0.1
+        assert four.data_lines > two.data_lines
+
+    def test_no_cache_reduces_fraction(self):
+        """Longer paths shrink the *relative* off-DIMM share (paper: under
+        3.2% without ORAM caching)."""
+        cached = independent_traffic(self.ORAM, SdimmConfig(), 2, 7)
+        uncached = independent_traffic(self.ORAM, SdimmConfig(), 2, 0)
+        assert uncached.fraction_of_baseline < cached.fraction_of_baseline
+
+    def test_split_fraction_near_paper(self):
+        """Paper: Split moves ~12% of baseline off-DIMM."""
+        traffic = split_traffic(self.ORAM, 2, 7)
+        assert 0.08 < traffic.fraction_of_baseline < 0.18
+
+    def test_split_carries_more_than_independent(self):
+        split = split_traffic(self.ORAM, 2, 7)
+        independent = independent_traffic(self.ORAM, SdimmConfig(), 2, 7)
+        assert split.data_lines > independent.data_lines

@@ -1,0 +1,82 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_designs_listed(self, capsys):
+        assert main(["designs"]) == 0
+        output = capsys.readouterr().out
+        assert "indep-split" in output
+        assert "freecursive" in output
+
+    def test_workloads_listed(self, capsys):
+        assert main(["workloads"]) == 0
+        output = capsys.readouterr().out
+        assert "gromacs" in output
+        assert "MiB" in output
+
+    def test_unknown_design_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["simulate", "warp-drive", "mcf"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_parser_help_strings(self):
+        parser = build_parser()
+        assert parser.prog == "repro"
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "nonsecure", "gromacs",
+                     "--trace-length", "800"]) == 0
+        output = capsys.readouterr().out
+        assert "execution cycles" in output
+        assert "memory energy" in output
+
+    def test_compare_single_channel(self, capsys):
+        assert main(["compare", "gromacs", "--trace-length", "600"]) == 0
+        output = capsys.readouterr().out
+        assert "freecursive" in output
+        assert "indep-2" in output
+        assert "split-2" in output
+
+    def test_overflow(self, capsys):
+        assert main(["overflow", "--steps", "5000"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 13a" in output
+        assert "Figure 13b" in output
+
+    def test_trace_generation(self, tmp_path, capsys):
+        output_file = str(tmp_path / "trace.txt")
+        assert main(["trace", "mcf", output_file, "--length", "50"]) == 0
+        from repro.workloads.trace import load_trace
+        assert len(load_trace(output_file)) == 50
+
+    def test_simulate_trace_file(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.txt")
+        assert main(["trace", "gromacs", trace, "--length", "400"]) == 0
+        capsys.readouterr()
+        assert main(["simulate", "freecursive", "--trace-file", trace]) == 0
+        output = capsys.readouterr().out
+        assert "execution cycles" in output
+
+    def test_coresident(self, capsys):
+        assert main(["coresident", "--requests", "30"]) == 0
+        output = capsys.readouterr().out
+        assert "freecursive" in output
+        assert "vs idle" in output
+
+    def test_simulate_json(self, capsys):
+        import json
+
+        assert main(["simulate", "nonsecure", "gromacs",
+                     "--trace-length", "800", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["design"] == "nonsecure"
+        assert summary["memory_energy_pj"] > 0

@@ -1,0 +1,130 @@
+"""Tests for the Table I DDR command encoding."""
+
+import pytest
+
+from repro.core.commands import (
+    TABLE_I,
+    CommandDecodeError,
+    CommandEncoder,
+    DdrFrame,
+    SdimmCommand,
+)
+
+
+class TestTableI:
+    """Assert the encoding matches Table I of the paper row by row."""
+
+    EXPECTED = {
+        SdimmCommand.SEND_PKEY: (False, False, 0x0, 0x0),
+        SdimmCommand.RECEIVE_SECRET: (True, True, 0x0, 0x0),
+        SdimmCommand.ACCESS: (True, True, 0x0, 0x0),
+        SdimmCommand.PROBE: (False, False, 0x0, 0x8),
+        SdimmCommand.FETCH_RESULT: (False, False, 0x0, 0x10),
+        SdimmCommand.APPEND: (True, True, 0x0, 0x0),
+        SdimmCommand.FETCH_DATA: (False, False, 0x0, 0x18),
+        SdimmCommand.FETCH_STASH: (True, True, 0x0, 0x18),
+        SdimmCommand.RECEIVE_LIST: (True, True, 0x0, 0x0),
+    }
+
+    def test_every_table_row(self):
+        for spec in TABLE_I:
+            is_long, is_write, ras, cas = self.EXPECTED[spec.command]
+            assert spec.is_long == is_long, spec.command
+            assert spec.is_write == is_write, spec.command
+            assert spec.ras == ras, spec.command
+            assert spec.cas == cas, spec.command
+
+    def test_all_nine_commands_present(self):
+        assert len(TABLE_I) == 9
+        assert {spec.command for spec in TABLE_I} == set(SdimmCommand)
+
+    def test_short_commands_use_read_mode(self):
+        for spec in TABLE_I:
+            if not spec.is_long:
+                assert not spec.is_write
+
+    def test_fetch_stash_takes_extra_cas(self):
+        specs = {spec.command: spec for spec in TABLE_I}
+        assert specs[SdimmCommand.FETCH_STASH].extra_cas
+        assert sum(spec.extra_cas for spec in TABLE_I) == 1
+
+    def test_short_cas_offsets_are_word_aligned(self):
+        """CAS selects 8-byte words, so short commands sit at multiples of 8
+        within the one reserved block."""
+        for spec in TABLE_I:
+            if not spec.is_long:
+                assert spec.cas % 8 == 0
+                assert spec.cas < 64
+
+
+class TestEncoder:
+    def setup_method(self):
+        self.encoder = CommandEncoder()
+
+    def test_short_roundtrip(self):
+        frame = self.encoder.encode(SdimmCommand.PROBE)
+        assert not frame.uses_data_bus
+        command, payload, index = self.encoder.decode(frame)
+        assert command is SdimmCommand.PROBE
+        assert payload == b""
+        assert index is None
+
+    def test_long_roundtrip(self):
+        frame = self.encoder.encode(SdimmCommand.ACCESS, b"ciphertext")
+        assert frame.uses_data_bus
+        command, payload, index = self.encoder.decode(frame)
+        assert command is SdimmCommand.ACCESS
+        assert payload == b"ciphertext"
+
+    def test_ambiguous_long_commands_disambiguated(self):
+        """ACCESS/APPEND/RECEIVE_LIST/RECEIVE_SECRET share RAS0/CAS0 writes;
+        the payload type byte tells them apart."""
+        for command in (SdimmCommand.ACCESS, SdimmCommand.APPEND,
+                        SdimmCommand.RECEIVE_LIST,
+                        SdimmCommand.RECEIVE_SECRET):
+            frame = self.encoder.encode(command, b"x")
+            decoded, _, _ = self.encoder.decode(frame)
+            assert decoded is command
+
+    def test_fetch_stash_carries_index(self):
+        frame = self.encoder.encode(SdimmCommand.FETCH_STASH, b"req",
+                                    stash_index=17)
+        assert frame.cas_sequence == (0x18, 17)
+        command, payload, index = self.encoder.decode(frame)
+        assert command is SdimmCommand.FETCH_STASH
+        assert index == 17
+
+    def test_short_command_rejects_payload(self):
+        with pytest.raises(ValueError):
+            self.encoder.encode(SdimmCommand.PROBE, b"data")
+
+    def test_long_command_requires_payload(self):
+        with pytest.raises(ValueError):
+            self.encoder.encode(SdimmCommand.ACCESS)
+
+    def test_stash_index_only_for_fetch_stash(self):
+        with pytest.raises(ValueError):
+            self.encoder.encode(SdimmCommand.ACCESS, b"x", stash_index=1)
+        with pytest.raises(ValueError):
+            self.encoder.encode(SdimmCommand.FETCH_STASH, b"x")
+
+    def test_decode_rejects_unreserved_ras(self):
+        frame = DdrFrame(is_write=False, ras=0x100, cas_sequence=(0x0,))
+        with pytest.raises(CommandDecodeError):
+            self.encoder.decode(frame)
+
+    def test_decode_rejects_unknown_short_cas(self):
+        frame = DdrFrame(is_write=False, ras=0x0, cas_sequence=(0x28,))
+        with pytest.raises(CommandDecodeError):
+            self.encoder.decode(frame)
+
+    def test_decode_rejects_unknown_type_byte(self):
+        frame = DdrFrame(is_write=True, ras=0x0, cas_sequence=(0x0,),
+                         payload=b"\xee payload")
+        with pytest.raises(CommandDecodeError):
+            self.encoder.decode(frame)
+
+    def test_decode_rejects_empty_write(self):
+        frame = DdrFrame(is_write=True, ras=0x0, cas_sequence=(0x0,))
+        with pytest.raises(CommandDecodeError):
+            self.encoder.decode(frame)

@@ -1,0 +1,100 @@
+"""Documentation-consistency guards: docs must track the code.
+
+These tests fail when a module, bench, or example referenced by the
+documentation goes missing (or vice versa), so the docs cannot silently
+rot as the code evolves.
+"""
+
+import os
+import re
+
+ROOT = os.path.join(os.path.dirname(__file__), os.pardir)
+
+
+def read(path):
+    with open(os.path.join(ROOT, path)) as handle:
+        return handle.read()
+
+
+class TestDesignInventory:
+    def test_every_inventoried_module_exists(self):
+        design = read("DESIGN.md")
+        existing = set()
+        for directory, _, files in os.walk(os.path.join(ROOT, "src",
+                                                        "repro")):
+            existing.update(name for name in files
+                            if name.endswith(".py"))
+        for match in re.finditer(r"^\s{2,}(\w+\.py)", design,
+                                 re.MULTILINE):
+            name = match.group(1)
+            assert name in existing, f"DESIGN.md lists missing {name}"
+
+    def test_every_source_module_inventoried(self):
+        design = read("DESIGN.md")
+        for directory, _, files in os.walk(os.path.join(ROOT, "src",
+                                                        "repro")):
+            for name in files:
+                if not name.endswith(".py") or name == "__init__.py":
+                    continue
+                if name == "__main__.py":
+                    continue
+                assert name in design, \
+                    f"{name} missing from DESIGN.md inventory"
+
+    def test_bench_targets_exist(self):
+        design = read("DESIGN.md")
+        for match in re.finditer(r"benchmarks/(bench_\w+\.py)", design):
+            path = os.path.join(ROOT, "benchmarks", match.group(1))
+            assert os.path.exists(path), \
+                f"DESIGN.md references missing {match.group(1)}"
+
+
+class TestReadme:
+    def test_bench_table_entries_exist(self):
+        readme = read("README.md")
+        for match in re.finditer(r"`(bench_\w+\.py)`", readme):
+            path = os.path.join(ROOT, "benchmarks", match.group(1))
+            assert os.path.exists(path), \
+                f"README references missing {match.group(1)}"
+
+    def test_example_table_entries_exist(self):
+        readme = read("README.md")
+        for match in re.finditer(r"`(\w+\.py)` \|", readme):
+            name = match.group(1)
+            if name.startswith("bench_"):
+                continue
+            path = os.path.join(ROOT, "examples", name)
+            assert os.path.exists(path), \
+                f"README references missing example {name}"
+
+    def test_every_example_documented(self):
+        readme = read("README.md")
+        for name in os.listdir(os.path.join(ROOT, "examples")):
+            if name.endswith(".py"):
+                assert name in readme, f"example {name} not in README"
+
+    def test_every_bench_documented(self):
+        readme = read("README.md")
+        design = read("DESIGN.md")
+        experiments = read("EXPERIMENTS.md")
+        corpus = readme + design + experiments
+        for name in os.listdir(os.path.join(ROOT, "benchmarks")):
+            if name.startswith("bench_") and name.endswith(".py"):
+                assert name in corpus, f"bench {name} not documented"
+
+
+class TestExperiments:
+    def test_mentions_every_figure(self):
+        experiments = read("EXPERIMENTS.md")
+        for figure in ("Fig 6", "Fig 8", "Fig 9", "Fig 10", "Fig 11",
+                       "Fig 13a", "Fig 13b", "Table I"):
+            assert figure in experiments, f"{figure} missing"
+
+    def test_api_doc_symbols_importable(self):
+        """Every backticked dotted name in docs/api.md must import."""
+        import importlib
+
+        api = read(os.path.join("docs", "api.md"))
+        for match in re.finditer(r"`(repro(?:\.\w+)+)`", api):
+            module = match.group(1)
+            importlib.import_module(module)

@@ -1,0 +1,75 @@
+"""Tests for the channel address mapper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import DramOrganization
+from repro.dram.address import AddressMapper, DecodedAddress
+
+
+def make_mapper(scheme="row:rank:bank:col"):
+    return AddressMapper(DramOrganization(), line_bytes=64, scheme=scheme)
+
+
+class TestAddressMapper:
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_mapper("banana")
+
+    def test_capacity(self):
+        mapper = make_mapper()
+        assert mapper.lines_per_channel == 16 * 2**30 // 64
+
+    def test_sequential_lines_share_row(self):
+        mapper = make_mapper()
+        first = mapper.decode(0)
+        second = mapper.decode(1)
+        assert first.same_row(second)
+        assert second.column == first.column + 1
+
+    def test_row_crossing_changes_bank(self):
+        mapper = make_mapper()
+        lines_per_row = DramOrganization().row_bytes // 64
+        inside = mapper.decode(lines_per_row - 1)
+        outside = mapper.decode(lines_per_row)
+        assert not inside.same_row(outside)
+        assert outside.bank == inside.bank + 1
+
+    def test_decode_rejects_out_of_range(self):
+        mapper = make_mapper()
+        with pytest.raises(ValueError):
+            mapper.decode(mapper.lines_per_channel)
+        with pytest.raises(ValueError):
+            mapper.decode(-1)
+
+    @given(st.integers(min_value=0, max_value=16 * 2**30 // 64 - 1))
+    def test_roundtrip(self, line):
+        mapper = make_mapper()
+        assert mapper.encode(mapper.decode(line)) == line
+
+    @given(st.integers(min_value=0, max_value=16 * 2**30 // 64 - 1))
+    def test_roundtrip_alternate_scheme(self, line):
+        mapper = make_mapper("row:col:rank:bank")
+        assert mapper.encode(mapper.decode(line)) == line
+
+    def test_encode_rejects_oversized_field(self):
+        mapper = make_mapper()
+        with pytest.raises(ValueError):
+            mapper.encode(DecodedAddress(rank=8, bank=0, row=0, column=0))
+
+    def test_fields_within_bounds(self):
+        mapper = make_mapper()
+        org = DramOrganization()
+        for line in range(0, mapper.lines_per_channel, 7919 * 64):
+            decoded = mapper.decode(line)
+            assert 0 <= decoded.rank < org.ranks_per_channel
+            assert 0 <= decoded.bank < org.banks_per_rank
+            assert 0 <= decoded.row < org.rows_per_bank
+            assert 0 <= decoded.column < org.row_bytes // 64
+
+    def test_bank_interleave_scheme_spreads_consecutive_lines(self):
+        mapper = make_mapper("row:col:rank:bank")
+        first = mapper.decode(0)
+        second = mapper.decode(1)
+        assert second.bank != first.bank

@@ -1,0 +1,110 @@
+"""Tests for the FR-FCFS scheduler policy."""
+
+import pytest
+
+from repro.config import DramOrganization, DramTiming, SchedulerConfig
+from repro.dram.address import DecodedAddress
+from repro.dram.channel import Channel, MemoryRequest
+from repro.dram.scheduler import FrFcfsScheduler
+
+
+def make_scheduler(**config_kwargs):
+    channel = Channel(DramTiming(), DramOrganization(), scale=1)
+    return FrFcfsScheduler(channel, SchedulerConfig(**config_kwargs))
+
+
+def request(row=0, column=0, bank=0, rank=0, is_write=False, arrival=0):
+    return MemoryRequest(
+        address=DecodedAddress(rank=rank, bank=bank, row=row, column=column),
+        is_write=is_write,
+        arrival_time=arrival,
+    )
+
+
+class TestFrFcfs:
+    def test_empty_queue_raises(self):
+        scheduler = make_scheduler()
+        with pytest.raises(LookupError):
+            scheduler.issue_next(0)
+
+    def test_row_hit_preferred_over_older_conflict(self):
+        scheduler = make_scheduler()
+        opener = request(row=0, column=0)
+        scheduler.enqueue(opener)
+        scheduler.issue_next(0)
+        # older request conflicts, younger hits the open row
+        conflicting = request(row=1, column=0, arrival=1)
+        hitting = request(row=0, column=1, arrival=2)
+        scheduler.enqueue(conflicting)
+        scheduler.enqueue(hitting)
+        issued, _ = scheduler.issue_next(10)
+        assert issued is hitting
+
+    def test_fcfs_when_no_hits(self):
+        scheduler = make_scheduler()
+        older = request(row=1, arrival=0)
+        younger = request(row=2, arrival=5)
+        scheduler.enqueue(older)
+        scheduler.enqueue(younger)
+        issued, _ = scheduler.issue_next(10)
+        assert issued is older
+
+    def test_reads_prioritized_over_writes(self):
+        scheduler = make_scheduler()
+        scheduler.enqueue(request(row=1, is_write=True))
+        scheduler.enqueue(request(row=2, is_write=False, arrival=5))
+        issued, _ = scheduler.issue_next(10)
+        assert not issued.is_write
+
+    def test_write_drain_triggers_at_high_watermark(self):
+        scheduler = make_scheduler(write_queue_capacity=64,
+                                   write_drain_high=4, write_drain_low=1)
+        for index in range(5):
+            scheduler.enqueue(request(row=index, is_write=True))
+        scheduler.enqueue(request(row=100, is_write=False))
+        issued, _ = scheduler.issue_next(0)
+        assert issued.is_write
+        assert scheduler.stats_drain_episodes == 1
+
+    def test_drain_continues_until_low_watermark(self):
+        scheduler = make_scheduler(write_queue_capacity=64,
+                                   write_drain_high=4, write_drain_low=2)
+        for index in range(5):
+            scheduler.enqueue(request(row=index, is_write=True))
+        scheduler.enqueue(request(row=100, is_write=False))
+        issued_types = []
+        now = 0
+        for _ in range(4):
+            issued, timing = scheduler.issue_next(now)
+            issued_types.append(issued.is_write)
+            now = timing.data_end
+        # drains writes from 5 down to 2, then the read goes
+        assert issued_types == [True, True, True, False]
+
+    def test_writes_serviced_when_no_reads(self):
+        scheduler = make_scheduler()
+        scheduler.enqueue(request(is_write=True))
+        issued, _ = scheduler.issue_next(0)
+        assert issued.is_write
+
+    def test_completion_time_recorded(self):
+        scheduler = make_scheduler()
+        queued = request()
+        scheduler.enqueue(queued)
+        _, timing = scheduler.issue_next(0)
+        assert queued.completion_time == timing.data_end
+
+    def test_pending_counts_both_queues(self):
+        scheduler = make_scheduler()
+        scheduler.enqueue(request(is_write=True))
+        scheduler.enqueue(request(is_write=False))
+        assert scheduler.pending == 2
+        assert scheduler.has_work()
+
+    def test_write_queue_full_flag(self):
+        scheduler = make_scheduler(write_queue_capacity=2,
+                                   write_drain_high=2, write_drain_low=1)
+        scheduler.enqueue(request(is_write=True))
+        assert not scheduler.write_queue_full
+        scheduler.enqueue(request(is_write=True))
+        assert scheduler.write_queue_full

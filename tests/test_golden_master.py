@@ -1,0 +1,73 @@
+"""Golden-master regression net over the timing model.
+
+The whole simulator is deterministic, so one short run per design pins
+its exact cycle count.  Any change to timing parameters, scheduling
+decisions, protocol message flows, or RNG stream layout moves these
+numbers — which is the point: the figures in EXPERIMENTS.md are only as
+stable as these values.  If you change the model *intentionally*,
+regenerate the goldens (the command is in the module docstring's
+companion note below) and re-run the figure benchmarks.
+
+Regenerate with:
+
+    python - <<'EOF'
+    from repro.config import table2_config, DesignPoint as D
+    from repro.sim.system import run_simulation
+    for design, ch in [...]:
+        r = run_simulation(table2_config(design, channels=ch),
+                           'gromacs', trace_length=1500)
+        print(design, ch, r.execution_cycles, r.accessoram_count)
+    EOF
+"""
+
+import pytest
+
+from repro.config import DesignPoint, table2_config
+from repro.sim.system import run_simulation
+
+GOLDENS = {
+    (DesignPoint.NONSECURE, 1): (127_079, 0),
+    (DesignPoint.FREECURSIVE, 1): (1_433_300, 777),
+    (DesignPoint.INDEP_2, 1): (833_526, 777),
+    (DesignPoint.SPLIT_2, 1): (953_418, 777),
+    (DesignPoint.NONSECURE, 2): (122_604, 0),
+    (DesignPoint.FREECURSIVE, 2): (839_460, 777),
+    (DesignPoint.INDEP_4, 2): (541_512, 777),
+    (DesignPoint.SPLIT_4, 2): (721_144, 777),
+    (DesignPoint.INDEP_SPLIT, 2): (575_662, 777),
+}
+
+
+@pytest.mark.parametrize("design,channels", sorted(
+    GOLDENS, key=lambda key: (key[1], key[0].value)))
+def test_golden_cycles(design, channels):
+    result = run_simulation(table2_config(design, channels=channels),
+                            "gromacs", trace_length=1500)
+    expected_cycles, expected_accessorams = GOLDENS[(design, channels)]
+    assert result.execution_cycles == expected_cycles, (
+        f"{design.value}/{channels}ch moved from {expected_cycles:,} to "
+        f"{result.execution_cycles:,} cycles — if intentional, regenerate "
+        f"the goldens and re-check EXPERIMENTS.md")
+    assert result.accessoram_count == expected_accessorams
+
+
+def test_goldens_tell_the_papers_story():
+    """The pinned numbers themselves encode the headline orderings."""
+    def cycles(design, channels):
+        return GOLDENS[(design, channels)][0]
+
+    # ORAM costs multiples (Figure 6)
+    assert cycles(DesignPoint.FREECURSIVE, 1) > \
+        8 * cycles(DesignPoint.NONSECURE, 1)
+    # every SDIMM design beats Freecursive (Figures 8/9)
+    for design, channels in ((DesignPoint.INDEP_2, 1),
+                             (DesignPoint.SPLIT_2, 1),
+                             (DesignPoint.INDEP_4, 2),
+                             (DesignPoint.SPLIT_4, 2),
+                             (DesignPoint.INDEP_SPLIT, 2)):
+        assert cycles(design, channels) < \
+            cycles(DesignPoint.FREECURSIVE, channels), design
+    # the combined design is the best 2-channel secure option for this
+    # (high-MLP) workload, short of raw INDEP-4 parallelism
+    assert cycles(DesignPoint.INDEP_SPLIT, 2) < \
+        cycles(DesignPoint.SPLIT_4, 2)

@@ -1,0 +1,110 @@
+"""Equivalence tests: coalesced path runs must cover exactly path lines.
+
+The timing tier's speed rests on `path_runs`; these properties pin it to
+the reference `path_lines` enumeration so the optimization can never
+drift from the layout it accelerates.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import DramOrganization, OramConfig
+from repro.oram.layout import LowPowerLayout, TreeLayout
+from repro.oram.tree import TreeGeometry
+
+
+def expand_runs_tree(layout, leaf, skip):
+    lines = []
+    for channel, address, count in layout.path_runs(leaf, skip):
+        for offset in range(count):
+            lines.append((channel, address.rank, address.bank, address.row,
+                          address.column + offset))
+    return sorted(lines)
+
+
+def expand_lines_tree(layout, leaf, skip):
+    return sorted((channel, address.rank, address.bank, address.row,
+                   address.column)
+                  for channel, address in layout.path_lines(leaf, skip))
+
+
+class TestTreeLayoutEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(5, 12), st.integers(1, 2), st.integers(0, 4),
+           st.data())
+    def test_runs_cover_lines_exactly(self, levels, channels, skip, data):
+        geometry = TreeGeometry(levels)
+        layout = TreeLayout(geometry, OramConfig(levels=levels,
+                                                 cached_levels=1),
+                            DramOrganization(), channels)
+        leaf = data.draw(st.integers(0, geometry.leaf_count - 1))
+        skip = min(skip, levels - 1)
+        assert expand_runs_tree(layout, leaf, skip) == \
+            expand_lines_tree(layout, leaf, skip)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(5, 10), st.data())
+    def test_total_line_count(self, levels, data):
+        geometry = TreeGeometry(levels)
+        oram = OramConfig(levels=levels, cached_levels=1)
+        layout = TreeLayout(geometry, oram, DramOrganization(), 2)
+        leaf = data.draw(st.integers(0, geometry.leaf_count - 1))
+        runs = layout.path_runs(leaf, 0)
+        assert sum(count for _, _, count in runs) == \
+            levels * oram.lines_per_bucket
+
+    def test_runs_never_cross_rows(self):
+        geometry = TreeGeometry(12)
+        layout = TreeLayout(geometry, OramConfig(levels=12,
+                                                 cached_levels=1),
+                            DramOrganization(), 1)
+        columns = DramOrganization().row_bytes // 64
+        for leaf in (0, 1000, geometry.leaf_count - 1):
+            for _, address, count in layout.path_runs(leaf, 0):
+                assert address.column + count <= columns
+
+
+class TestLowPowerLayoutEquivalence:
+    def make(self, levels=10):
+        geometry = TreeGeometry(levels)
+        return LowPowerLayout(geometry, OramConfig(levels=levels,
+                                                   cached_levels=1),
+                              DramOrganization(), ranks=4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(6, 12), st.integers(0, 4), st.data())
+    def test_runs_cover_lines_exactly(self, levels, skip, data):
+        geometry = TreeGeometry(levels)
+        layout = LowPowerLayout(geometry, OramConfig(levels=levels,
+                                                     cached_levels=1),
+                                DramOrganization(), ranks=4)
+        leaf = data.draw(st.integers(0, geometry.leaf_count - 1))
+        skip = min(skip, levels - 1)
+        from_runs = sorted(
+            (address.rank, address.bank, address.row,
+             address.column + offset)
+            for address, count in layout.path_runs(leaf, skip)
+            for offset in range(count))
+        from_lines = sorted((address.rank, address.bank, address.row,
+                             address.column)
+                            for address in layout.path_lines(leaf, skip))
+        assert from_runs == from_lines
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.data())
+    def test_runs_stay_in_owner_rank(self, data):
+        layout = self.make()
+        leaf = data.draw(st.integers(0, layout.geometry.leaf_count - 1))
+        rank = layout.rank_of_leaf(leaf)
+        for address, _ in layout.path_runs(leaf, 0):
+            assert address.rank == rank
+
+    def test_skip_beyond_sram_levels(self):
+        """Skipping more levels than the SRAM holds must subtract from the
+        DRAM-resident part only."""
+        layout = self.make(levels=10)
+        full = sum(count for _, count in layout.path_runs(0, 0))
+        skipped = sum(count for _, count in layout.path_runs(0, 4))
+        # levels 0-1 are SRAM (free); skip=4 removes levels 0-3, i.e. two
+        # DRAM-resident buckets fewer than the full path
+        assert full - skipped == 2 * 5

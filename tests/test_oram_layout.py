@@ -1,0 +1,157 @@
+"""Tests for DRAM tree layouts (subtree packing and low-power per-rank)."""
+
+import pytest
+
+from repro.config import DramOrganization, OramConfig
+from repro.oram.layout import (
+    LowPowerLayout,
+    TreeLayout,
+    subtree_packed_index,
+)
+from repro.oram.tree import TreeGeometry
+
+
+def small_oram():
+    return OramConfig(levels=8, cached_levels=2)
+
+
+class TestSubtreePacking:
+    def test_bijective(self):
+        tree = TreeGeometry(9)
+        indices = {subtree_packed_index(tree, bucket, 3)
+                   for bucket in range(tree.bucket_count)}
+        assert indices == set(range(tree.bucket_count))
+
+    def test_subtree_contiguous(self):
+        """All buckets of one subtree occupy a contiguous index range."""
+        tree = TreeGeometry(8)
+        subtree_levels = 4
+        # subtree rooted at level 4, position 3: levels 4-7, prefix 3
+        members = [bucket for bucket in range(tree.bucket_count)
+                   if tree.level_of(bucket) >= 4 and
+                   tree.position_of(bucket) >> (tree.level_of(bucket) - 4) == 3]
+        packed = sorted(subtree_packed_index(tree, bucket, subtree_levels)
+                        for bucket in members)
+        assert packed == list(range(packed[0], packed[0] + len(packed)))
+
+    def test_path_confined_to_one_window_per_band(self):
+        """Within each 4-level band, a path's buckets share one subtree's
+        contiguous 15-bucket window — the row-buffer locality the layout
+        exists to provide."""
+        tree = TreeGeometry(8)
+        subtree_size = (1 << 4) - 1
+        for leaf in (0, 37, tree.leaf_count - 1):
+            path = tree.path(leaf)
+            for band_start in (0, 4):
+                packed = [subtree_packed_index(tree, bucket, 4)
+                          for bucket in path[band_start:band_start + 4]]
+                assert max(packed) - min(packed) < subtree_size
+
+    def test_root_is_index_zero(self):
+        tree = TreeGeometry(8)
+        assert subtree_packed_index(tree, 0, 4) == 0
+
+
+class TestTreeLayout:
+    def make_layout(self, channels=2):
+        geometry = TreeGeometry(8)
+        return TreeLayout(geometry, small_oram(), DramOrganization(),
+                          channels=channels)
+
+    def test_bucket_has_five_lines(self):
+        layout = self.make_layout()
+        assert len(layout.bucket_lines(0)) == 5
+
+    def test_lines_striped_across_channels(self):
+        layout = self.make_layout(channels=2)
+        channels = [channel for channel, _ in layout.bucket_lines(0)]
+        assert channels == [0, 1, 0, 1, 0]
+
+    def test_path_lines_count(self):
+        layout = self.make_layout()
+        lines = layout.path_lines(leaf=5, skip_levels=2)
+        assert len(lines) == (8 - 2) * 5
+
+    def test_distinct_buckets_distinct_lines(self):
+        layout = self.make_layout(channels=1)
+        lines_a = {(c, d.rank, d.bank, d.row, d.column)
+                   for c, d in layout.bucket_lines(3)}
+        lines_b = {(c, d.rank, d.bank, d.row, d.column)
+                   for c, d in layout.bucket_lines(4)}
+        assert not lines_a & lines_b
+
+    def test_subtree_rows_shared(self):
+        """Buckets inside one packing band land in one row (row-hit wins)."""
+        layout = self.make_layout(channels=1)
+        tree = layout.geometry
+        path = tree.path(0)[:4]  # the first band of a 4-level packing
+        rows = {(d.rank, d.bank, d.row)
+                for bucket in path
+                for _, d in layout.bucket_lines(bucket)}
+        assert len(rows) == 1
+
+    def test_rejects_zero_channels(self):
+        with pytest.raises(ValueError):
+            TreeLayout(TreeGeometry(8), small_oram(), DramOrganization(),
+                       channels=0)
+
+
+class TestLowPowerLayout:
+    def make_layout(self):
+        geometry = TreeGeometry(10)
+        return LowPowerLayout(geometry, small_oram(), DramOrganization(),
+                              ranks=4)
+
+    def test_top_levels_in_sram(self):
+        layout = self.make_layout()
+        # levels 0 and 1 (log2(4) = 2 levels) are SRAM-resident
+        assert layout.bucket_lines(0) is None
+        assert layout.bucket_lines(1) is None
+        assert layout.bucket_lines(2) is None
+        assert layout.bucket_lines(3) is not None
+
+    def test_rank_of_leaf_partitions(self):
+        layout = self.make_layout()
+        leaf_count = layout.geometry.leaf_count
+        per_rank = leaf_count // 4
+        for leaf in range(leaf_count):
+            assert layout.rank_of_leaf(leaf) == leaf // per_rank
+
+    def test_path_confined_to_one_rank(self):
+        """The low-power property: every DRAM line of a path shares a rank."""
+        layout = self.make_layout()
+        for leaf in (0, 100, 255, 511):
+            lines = layout.path_lines(leaf)
+            ranks = {line.rank for line in lines}
+            assert len(ranks) == 1
+            assert ranks == {layout.rank_of_leaf(leaf)}
+
+    def test_path_lines_skip_sram_levels(self):
+        layout = self.make_layout()
+        lines = layout.path_lines(0)
+        # 10 levels, 2 in SRAM => 8 buckets * 5 lines
+        assert len(lines) == 8 * 5
+
+    def test_distinct_subtrees_distinct_ranks(self):
+        layout = self.make_layout()
+        first = layout.path_lines(0)
+        last = layout.path_lines(layout.geometry.leaf_count - 1)
+        assert {line.rank for line in first} != {line.rank for line in last}
+
+    def test_too_shallow_tree_rejected(self):
+        with pytest.raises(ValueError):
+            LowPowerLayout(TreeGeometry(2), small_oram(),
+                           DramOrganization(), ranks=4)
+
+    def test_buckets_disjoint_within_rank(self):
+        layout = self.make_layout()
+        tree = layout.geometry
+        seen = set()
+        for bucket in range(3, 40):
+            located = layout.bucket_lines(bucket)
+            if located is None:
+                continue
+            for line in located:
+                key = (line.rank, line.bank, line.row, line.column)
+                assert key not in seen
+                seen.add(key)

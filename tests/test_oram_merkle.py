@@ -1,0 +1,128 @@
+"""Tests for the Merkle-tree integrity substrate."""
+
+import pytest
+
+from repro.config import OramConfig
+from repro.oram.bucket import Block, Bucket
+from repro.oram.integrity import IntegrityError
+from repro.oram.merkle import MerkleBucketStore, integrity_traffic_comparison
+from repro.oram.path_oram import Op, PathOram
+from repro.utils.rng import DeterministicRng
+
+KEY = b"0123456789abcdef"
+
+
+def make_store(levels=5):
+    return MerkleBucketStore(levels, bucket_capacity=4, block_bytes=16,
+                             key=KEY)
+
+
+def full_bucket(value=0xAA):
+    bucket = Bucket(4, 16)
+    bucket.insert(Block(1, 3, bytes([value]) * 16))
+    return bucket
+
+
+class TestMerkleStore:
+    def test_roundtrip(self):
+        store = make_store()
+        store.write(3, full_bucket())
+        restored = store.read(3)
+        assert restored.blocks()[0].data == b"\xaa" * 16
+
+    def test_unwritten_reads_empty(self):
+        store = make_store()
+        assert store.read(7).occupancy == 0
+
+    def test_many_buckets(self):
+        store = make_store()
+        for index in range(store.bucket_count):
+            store.write(index, full_bucket(index % 256))
+        for index in range(store.bucket_count):
+            assert store.read(index).blocks()[0].data == \
+                bytes([index % 256]) * 16
+
+    def test_tamper_detected(self):
+        store = make_store()
+        store.write(3, full_bucket())
+        (counter, ciphertext), _ = store.snapshot(3)
+        store.tamper(3, bytes([ciphertext[0] ^ 1]) + ciphertext[1:])
+        with pytest.raises(IntegrityError):
+            store.read(3)
+
+    def test_hash_tamper_detected(self):
+        """Corrupting an intermediate hash breaks the chain to the root."""
+        store = make_store()
+        store.write(3, full_bucket())
+        parent = store.geometry.parent(3)
+        store._hashes[parent] = b"\xff" * 16
+        with pytest.raises(IntegrityError):
+            store.read(3)
+
+    def test_replay_detected_by_root(self):
+        """Replaying a full (cell + hash path) snapshot still fails: the
+        on-chip root hash has moved on."""
+        store = make_store()
+        store.write(3, full_bucket(0x11))
+        captured_cell, captured_hashes = store.snapshot(3)
+        store.write(3, full_bucket(0x22))
+        store.replay(3, captured_cell, captured_hashes)
+        with pytest.raises(IntegrityError):
+            store.read(3)
+
+    def test_sibling_updates_do_not_invalidate(self):
+        """Writing one child must keep the other child verifiable."""
+        store = make_store()
+        store.write(1, full_bucket(0x01))
+        store.write(2, full_bucket(0x02))
+        store.write(1, full_bucket(0x03))
+        assert store.read(2).blocks()[0].data == b"\x02" * 16
+
+    def test_ciphertext_only_in_memory(self):
+        store = make_store()
+        store.write(0, full_bucket())
+        (_, ciphertext), _ = store.snapshot(0)
+        assert b"\xaa" * 16 not in ciphertext
+
+
+class TestOramOverMerkle:
+    def test_path_oram_end_to_end(self):
+        store = make_store(levels=6)
+        oram = PathOram(levels=6, blocks_per_bucket=4, block_bytes=16,
+                        stash_capacity=200,
+                        rng=DeterministicRng(7, "merkle"), store=store)
+        for address in range(12):
+            oram.access(address, Op.WRITE, bytes([address]) * 16)
+        for address in range(12):
+            assert oram.access(address, Op.READ) == bytes([address]) * 16
+        assert store.hash_checks > 0
+
+    def test_mid_run_tamper_detected(self):
+        store = make_store(levels=6)
+        oram = PathOram(levels=6, blocks_per_bucket=4, block_bytes=16,
+                        stash_capacity=200,
+                        rng=DeterministicRng(8, "merkle"), store=store)
+        oram.access(1, Op.WRITE, b"x" * 16)
+        (counter, ciphertext), _ = store.snapshot(0)
+        store.tamper(0, bytes([ciphertext[0] ^ 0x80]) + ciphertext[1:])
+        with pytest.raises(IntegrityError):
+            oram.access(1, Op.READ)
+
+
+class TestTrafficComparison:
+    def test_pmmac_is_free(self):
+        comparison = integrity_traffic_comparison(
+            OramConfig(levels=28, cached_levels=7), 7)
+        assert comparison["pmmac_extra_lines"] == 0.0
+
+    def test_merkle_costs_a_few_percent(self):
+        comparison = integrity_traffic_comparison(
+            OramConfig(levels=28, cached_levels=7), 7)
+        assert 0 < comparison["merkle_overhead_fraction"] < 0.1
+
+    def test_baseline_matches_traffic_model(self):
+        from repro.analysis.traffic import baseline_lines_per_access
+        oram = OramConfig(levels=28, cached_levels=7)
+        comparison = integrity_traffic_comparison(oram, 7)
+        assert comparison["baseline_lines"] == \
+            baseline_lines_per_access(oram, 7)

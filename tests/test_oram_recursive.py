@@ -1,0 +1,143 @@
+"""Tests for the recursive PosMap hierarchy and the PLB front end."""
+
+import pytest
+
+from repro.config import OramConfig
+from repro.oram.plb import PlbFrontend
+from repro.oram.recursive import RecursiveOram
+from repro.utils.rng import DeterministicRng
+
+
+def make_recursive(data_blocks=256, **kwargs):
+    defaults = dict(block_bytes=64, blocks_per_bucket=4, stash_capacity=200,
+                    entries_per_block=16, onchip_entries=4)
+    defaults.update(kwargs)
+    return RecursiveOram(data_blocks=data_blocks,
+                         rng=DeterministicRng(2, "rec"), **defaults)
+
+
+class TestRecursiveOram:
+    def test_builds_expected_depth(self):
+        # 256 blocks / 16 entries = 16 posmap blocks > 4 on-chip
+        # 16 / 16 = 1 <= 4 on-chip  => 2 posmap levels
+        oram = make_recursive(256)
+        assert oram.posmap_levels == 2
+
+    def test_single_level_when_small(self):
+        oram = make_recursive(4)
+        assert oram.posmap_levels == 0
+
+    def test_respects_max_levels(self):
+        oram = make_recursive(16**4, max_posmap_levels=2)
+        assert oram.posmap_levels == 2
+
+    def test_read_after_write(self):
+        oram = make_recursive()
+        oram.write(100, b"Z" * 64)
+        assert oram.read(100) == b"Z" * 64
+
+    def test_unwritten_reads_zero(self):
+        oram = make_recursive()
+        assert oram.read(7) == bytes(64)
+
+    def test_many_blocks(self):
+        oram = make_recursive(256)
+        for address in range(0, 256, 7):
+            oram.write(address, address.to_bytes(2, "little") * 32)
+        for address in range(0, 256, 7):
+            assert oram.read(address) == address.to_bytes(2, "little") * 32
+
+    def test_overwrite_through_recursion(self):
+        oram = make_recursive()
+        for round_number in range(5):
+            oram.write(33, bytes([round_number]) * 64)
+            assert oram.read(33) == bytes([round_number]) * 64
+
+    def test_each_access_touches_all_levels(self):
+        oram = make_recursive(256)
+        before = [level.access_count for level in oram.orams]
+        oram.read(12)
+        after = [level.access_count for level in oram.orams]
+        assert all(b + 1 == a for b, a in zip(before, after))
+
+    def test_posmap_orams_shrink(self):
+        oram = make_recursive(4096)
+        level_sizes = [level.geometry.levels for level in oram.orams]
+        assert level_sizes == sorted(level_sizes, reverse=True)
+
+    def test_rejects_oversized_entries(self):
+        with pytest.raises(ValueError):
+            make_recursive(entries_per_block=32, block_bytes=64)
+
+
+def plb_config(**kwargs):
+    defaults = dict(levels=20, cached_levels=3, recursive_posmaps=5,
+                    plb_bytes=4096, plb_assoc=4, posmap_entries_per_block=16)
+    defaults.update(kwargs)
+    return OramConfig(**defaults)
+
+
+class TestPlbFrontend:
+    def test_cold_miss_walks_full_chain(self):
+        frontend = PlbFrontend(plb_config())
+        accesses = [access for access in frontend.translate(0)
+                    if not access.is_writeback]
+        assert [access.oram_level for access in accesses] == \
+            [5, 4, 3, 2, 1, 0]
+
+    def test_warm_hit_short_chain(self):
+        frontend = PlbFrontend(plb_config())
+        frontend.translate(0)
+        accesses = frontend.translate(1)  # same posmap block at level 1
+        assert [access.oram_level for access in accesses] == [0]
+
+    def test_partial_hit(self):
+        frontend = PlbFrontend(plb_config())
+        frontend.translate(0)
+        # address 16 shares the level-2 block of address 0 (16 >> 4 = 1
+        # differs, 16 >> 8 = 0 matches)
+        accesses = [access for access in frontend.translate(16)
+                    if not access.is_writeback]
+        assert [access.oram_level for access in accesses] == [1, 0]
+
+    def test_disabled_plb_always_full_chain(self):
+        frontend = PlbFrontend(plb_config(), enabled=False)
+        for address in (0, 0, 0):
+            accesses = frontend.translate(address)
+            assert len(accesses) == 6
+        assert frontend.accesses_per_request == 6.0
+
+    def test_posmap_block_addresses(self):
+        frontend = PlbFrontend(plb_config())
+        accesses = frontend.translate(0x12345)
+        data = [a for a in accesses if a.oram_level == 0][0]
+        assert data.block_address == 0x12345
+        level1 = [a for a in accesses if a.oram_level == 1][0]
+        assert level1.block_address == 0x1234
+
+    def test_dirty_evictions_emit_writebacks(self):
+        config = plb_config(plb_bytes=512, plb_assoc=2)  # tiny: 8 lines
+        frontend = PlbFrontend(config)
+        for address in range(0, 1 << 20, 1 << 14):
+            frontend.translate(address)
+        assert frontend.writebacks > 0
+        # write-backs were reported as accesses too
+        assert frontend.accesses > frontend.requests
+
+    def test_hot_loop_approaches_one_access_per_miss(self):
+        frontend = PlbFrontend(plb_config())
+        for _ in range(50):
+            for address in range(16):
+                frontend.translate(address)
+        assert frontend.accesses_per_request < 1.1
+
+    def test_accesses_per_request_between_one_and_chain(self):
+        frontend = PlbFrontend(plb_config())
+        rng = DeterministicRng(4, "plb")
+        for _ in range(500):
+            frontend.translate(rng.randrange(1 << 16))
+        assert 1.0 <= frontend.accesses_per_request <= 7.0
+
+    def test_rejects_too_many_levels(self):
+        with pytest.raises(ValueError):
+            PlbFrontend(plb_config(recursive_posmaps=8))

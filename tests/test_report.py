@@ -1,0 +1,74 @@
+"""Tests for the ASCII figure renderers."""
+
+import pytest
+
+from repro.report import bar_chart, grouped_bar_chart, line_chart
+
+
+class TestBarChart:
+    def test_renders_all_rows(self):
+        chart = bar_chart("Figure X", [("freecursive", 1.0),
+                                       ("indep-2", 0.66)])
+        assert "Figure X" in chart
+        assert "freecursive" in chart
+        assert "indep-2" in chart
+
+    def test_bars_scale_with_values(self):
+        chart = bar_chart("t", [("big", 1.0), ("small", 0.5)], width=40)
+        lines = chart.splitlines()
+        big = lines[1].count("#")
+        small = lines[2].count("#")
+        assert big == 2 * small
+
+    def test_reference_marker(self):
+        chart = bar_chart("t", [("x", 0.5)], reference=1.0)
+        assert "|" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", [])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart("t", [("x", -1.0)])
+
+    def test_all_zero_safe(self):
+        chart = bar_chart("t", [("x", 0.0)])
+        assert "x" in chart
+
+
+class TestGroupedBarChart:
+    def test_groups_and_series(self):
+        chart = grouped_bar_chart(
+            "Figure 9", ["mcf", "lbm"],
+            {"indep-4": [0.8, 0.9], "split-4": [0.85, 0.95]})
+        assert chart.count("mcf") == 1
+        assert chart.count("indep-4") == 2
+
+    def test_rejects_ragged_series(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart("t", ["a", "b"], {"s": [1.0]})
+
+
+class TestLineChart:
+    def test_renders_axes_and_legend(self):
+        chart = line_chart("Figure 13a", {
+            "64": [(0, 0.0), (400_000, 0.8), (800_000, 0.92)],
+            "1024": [(0, 0.0), (400_000, 0.01), (800_000, 0.1)],
+        })
+        assert "Figure 13a" in chart
+        assert "a=1024" in chart or "a=64" in chart
+        assert "+" in chart
+
+    def test_high_points_render_high(self):
+        chart = line_chart("t", {"s": [(0, 0.0), (10, 1.0)]}, width=20,
+                           height=6)
+        lines = chart.splitlines()
+        top_row = lines[1]
+        bottom_row = lines[6]
+        assert "a" in top_row      # y=1 at the top
+        assert "a" in bottom_row   # y=0 at the bottom
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_chart("t", {})

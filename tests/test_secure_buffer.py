@@ -1,0 +1,60 @@
+"""Tests for the link recorder (the obliviousness observable)."""
+
+from repro.core.commands import SdimmCommand
+from repro.core.secure_buffer import LinkEvent, LinkRecorder
+
+
+class TestLinkEvent:
+    def test_shape_excludes_target(self):
+        """The target SDIMM is a uniform function of a secret leaf; the
+        shape (what must be pattern-independent) excludes it."""
+        first = LinkEvent("up", SdimmCommand.ACCESS, 0, 64)
+        second = LinkEvent("up", SdimmCommand.ACCESS, 3, 64)
+        assert first.shape() == second.shape()
+
+    def test_shape_distinguishes_command(self):
+        access = LinkEvent("up", SdimmCommand.ACCESS, 0, 64)
+        append = LinkEvent("up", SdimmCommand.APPEND, 0, 64)
+        assert access.shape() != append.shape()
+
+    def test_shape_distinguishes_size(self):
+        small = LinkEvent("down", SdimmCommand.FETCH_RESULT, 0, 8)
+        large = LinkEvent("down", SdimmCommand.FETCH_RESULT, 0, 64)
+        assert small.shape() != large.shape()
+
+    def test_events_frozen(self):
+        event = LinkEvent("up", SdimmCommand.PROBE, 0, 0)
+        try:
+            event.sdimm = 5
+            frozen = False
+        except Exception:
+            frozen = True
+        assert frozen
+
+
+class TestLinkRecorder:
+    def test_records_both_directions(self):
+        recorder = LinkRecorder()
+        recorder.up(SdimmCommand.ACCESS, 1, 64)
+        recorder.down(SdimmCommand.FETCH_RESULT, 1, 64)
+        assert len(recorder) == 2
+        assert recorder.events[0].direction == "up"
+        assert recorder.events[1].direction == "down"
+
+    def test_disabled_recorder_is_free(self):
+        recorder = LinkRecorder(enabled=False)
+        recorder.up(SdimmCommand.ACCESS, 1, 64)
+        assert len(recorder) == 0
+
+    def test_shapes_align_with_events(self):
+        recorder = LinkRecorder()
+        recorder.up(SdimmCommand.PROBE, 0, 0)
+        recorder.down(None, 0, 32)
+        shapes = recorder.shapes()
+        assert shapes == [("up", SdimmCommand.PROBE, 0), ("down", None, 32)]
+
+    def test_clear(self):
+        recorder = LinkRecorder()
+        recorder.up(SdimmCommand.PROBE, 0, 0)
+        recorder.clear()
+        assert len(recorder) == 0

@@ -1,0 +1,68 @@
+"""Stream-level tests for the secure session (long-haul consistency)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.session import CertificateAuthority, establish_session
+
+
+def make_pair(seed=b"stream-seed"):
+    authority = CertificateAuthority()
+    return establish_session(0, seed, b"cpu-" + seed, authority)
+
+
+class TestSessionStreams:
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=128), min_size=1,
+                    max_size=30))
+    def test_upstream_stream_roundtrips(self, messages):
+        cpu, buffer = make_pair()
+        for index, message in enumerate(messages):
+            ciphertext, tag = cpu.encrypt_upstream(message)
+            assert buffer.decrypt_upstream(ciphertext, tag, index) == message
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=128), min_size=1,
+                    max_size=30))
+    def test_bidirectional_interleaving(self, messages):
+        cpu, buffer = make_pair()
+        for index, message in enumerate(messages):
+            up_ct, up_tag = cpu.encrypt_upstream(message)
+            assert buffer.decrypt_upstream(up_ct, up_tag, index) == message
+            down_ct, down_tag = buffer.encrypt_downstream(message[::-1])
+            assert cpu.decrypt_downstream(down_ct, down_tag,
+                                          index) == message[::-1]
+
+    def test_counters_track_message_count(self):
+        cpu, buffer = make_pair()
+        for _ in range(17):
+            cpu.encrypt_upstream(b"x")
+        assert cpu.upstream_counter == 17
+        assert buffer.downstream_counter == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.binary(min_size=1, max_size=64))
+    def test_identical_messages_never_repeat_ciphertext(self, message):
+        cpu, _ = make_pair()
+        seen = set()
+        for _ in range(10):
+            ciphertext, _ = cpu.encrypt_upstream(message)
+            assert ciphertext not in seen
+            seen.add(ciphertext)
+
+
+class TestDesignComparisonHelper:
+    def test_runs_requested_designs(self):
+        from repro.config import DesignPoint, table2_config
+        from repro.sim.system import run_design_comparison
+
+        results = run_design_comparison(
+            (DesignPoint.NONSECURE, DesignPoint.FREECURSIVE),
+            "gromacs", channels=1,
+            config_factory=lambda design, channels: table2_config(
+                design, channels=channels),
+            trace_length=800)
+        assert set(results) == {DesignPoint.NONSECURE,
+                                DesignPoint.FREECURSIVE}
+        assert results[DesignPoint.FREECURSIVE].execution_cycles > \
+            results[DesignPoint.NONSECURE].execution_cycles

@@ -1,0 +1,91 @@
+"""Tests for the backfilling link bus."""
+
+import pytest
+
+from repro.sim.bus import LinkBus
+
+
+class TestLinkBusBasics:
+    def test_block_occupies_burst_plus_command(self):
+        bus = LinkBus(burst_cycles=8, command_cycles=1)
+        start, end = bus.reserve_block(0)
+        assert (start, end) == (0, 9)
+
+    def test_serial_when_contended(self):
+        bus = LinkBus(8)
+        bus.reserve_block(0)
+        start, end = bus.reserve_block(0)
+        assert start == 9
+
+    def test_lines_back_to_back(self):
+        bus = LinkBus(8)
+        start, end = bus.reserve_lines(0, 5)
+        assert end - start == 40
+
+    def test_zero_lines_is_free(self):
+        bus = LinkBus(8)
+        assert bus.reserve_lines(100, 0) == (100, 100)
+        assert bus.busy_cycles == 0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            LinkBus(0)
+        with pytest.raises(ValueError):
+            LinkBus(8).reserve_lines(0, -1)
+
+    def test_counters(self):
+        bus = LinkBus(8)
+        bus.reserve_block(0)
+        bus.reserve_lines(0, 3)
+        bus.command_slot(0)
+        assert bus.block_transfers == 1
+        assert bus.line_transfers == 3
+        assert bus.command_slots == 1
+        assert bus.total_transfers == 4
+
+
+class TestBackfill:
+    def test_gap_before_future_reservation_usable(self):
+        """A response reserved far ahead must not block an idle bus now."""
+        bus = LinkBus(8)
+        bus.reserve_block(1000)          # future response
+        start, end = bus.reserve_block(0)  # new request, bus idle now
+        assert start == 0
+
+    def test_small_gap_respected(self):
+        bus = LinkBus(8)
+        bus.reserve_block(0)       # [0, 9)
+        bus.reserve_block(12)      # [12, 21)
+        # a 9-cycle block does not fit in [9, 12); lands after 21
+        start, _ = bus.reserve_block(5)
+        assert start == 21
+
+    def test_exact_fit_gap(self):
+        bus = LinkBus(8, command_cycles=1)
+        bus.reserve_block(0)       # [0, 9)
+        bus.reserve_block(18)      # [18, 27)
+        start, end = bus.reserve_block(0)
+        assert (start, end) == (9, 18)
+
+    def test_free_at_reflects_last_interval(self):
+        bus = LinkBus(8)
+        bus.reserve_block(100)
+        assert bus.free_at == 109
+
+    def test_advance_prunes_but_preserves_future(self):
+        bus = LinkBus(8)
+        bus.reserve_block(0)
+        bus.reserve_block(10_000)
+        bus.advance(5_000)
+        # the future reservation still blocks
+        start, _ = bus.reserve_block(10_000)
+        assert start == 10_009
+
+    def test_many_backfills_keep_order_free(self):
+        bus = LinkBus(4)
+        ends = []
+        for index in range(20):
+            _, end = bus.reserve_block(index * 100)
+            ends.append(end)
+        # widely spaced requests never queue
+        assert all(end - index * 100 == 5 for index, end in enumerate(ends))

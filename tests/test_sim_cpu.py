@@ -1,0 +1,133 @@
+"""Unit tests for the event-driven trace CPU driver."""
+
+from typing import List
+
+import pytest
+
+from repro.config import DesignPoint, table2_config
+from repro.sim.backends import BackendCounters
+from repro.sim.cpu import SimulationDriver
+from repro.sim.events import EventQueue
+from repro.workloads.trace import TraceRecord
+
+
+class InstantBackend:
+    """A backend that completes every miss after a fixed latency."""
+
+    def __init__(self, events: EventQueue, latency: int = 100):
+        self.events = events
+        self.latency = latency
+        self.channels: List = []
+        self.buses: List = []
+        self.submissions: List = []
+        self.counters = BackendCounters()
+
+    def submit(self, address, now, is_write, on_complete=None):
+        self.submissions.append((address, now, is_write))
+        if on_complete is not None:
+            self.events.at(now + self.latency,
+                           lambda: on_complete(now + self.latency))
+
+    def finalize(self, end):
+        pass
+
+
+def make_driver(mlp=2, latency=100):
+    events = EventQueue()
+    backend = InstantBackend(events, latency)
+    config = table2_config(DesignPoint.NONSECURE, channels=1)
+    driver = SimulationDriver(config, backend, events, mlp=mlp,
+                              workload_name="unit")
+    return driver, backend
+
+
+def miss_trace(count, gap=0, stride=None):
+    """Records guaranteed to miss a cold LLC (distinct lines)."""
+    stride = stride if stride is not None else 1
+    return [TraceRecord(gap, index * stride, False)
+            for index in range(count)]
+
+
+class TestDriverSemantics:
+    def test_all_records_processed(self):
+        driver, backend = make_driver()
+        result = driver.run(miss_trace(10))
+        assert result.miss_count == 10
+        assert len(backend.submissions) == 10
+
+    def test_llc_hits_do_not_reach_backend(self):
+        driver, backend = make_driver()
+        trace = [TraceRecord(0, 5, False)] * 4
+        result = driver.run(trace)
+        assert len(backend.submissions) == 1
+        assert result.llc_hit_rate == pytest.approx(3 / 4)
+
+    def test_mlp_window_bounds_overlap(self):
+        """With MLP 1 every miss serializes on the previous completion."""
+        serial_driver, _ = make_driver(mlp=1, latency=100)
+        serial = serial_driver.run(miss_trace(10)).execution_cycles
+        wide_driver, _ = make_driver(mlp=10, latency=100)
+        wide = wide_driver.run(miss_trace(10)).execution_cycles
+        assert serial >= 10 * 100
+        assert wide < serial / 3
+
+    def test_gaps_accumulate(self):
+        driver, _ = make_driver(mlp=8, latency=1)
+        result = driver.run(miss_trace(10, gap=500))
+        assert result.execution_cycles >= 10 * 500
+
+    def test_dirty_victims_posted_as_writes(self):
+        driver, backend = make_driver()
+        llc_lines = driver.llc.set_count * driver.llc.associativity
+        # fill the LLC with writes, then stream far past it
+        trace = [TraceRecord(0, index, True)
+                 for index in range(llc_lines + 64)]
+        driver.run(trace)
+        writes = [entry for entry in backend.submissions if entry[2]]
+        assert writes, "evicted dirty lines must be written back"
+
+    def test_warmup_excluded_from_stats(self):
+        driver, _ = make_driver(mlp=4)
+        result = driver.run(miss_trace(100), warmup_records=50)
+        assert result.miss_count == 50
+
+    def test_warmup_keeps_timing_state(self):
+        """Execution cycles measure the post-warm-up window only."""
+        driver_full, _ = make_driver(mlp=1, latency=100)
+        full = driver_full.run(miss_trace(100)).execution_cycles
+        driver_half, _ = make_driver(mlp=1, latency=100)
+        half = driver_half.run(miss_trace(100),
+                               warmup_records=50).execution_cycles
+        assert half < full
+
+    def test_latency_recorded_per_miss(self):
+        driver, _ = make_driver(mlp=4, latency=250)
+        result = driver.run(miss_trace(20, gap=1000))
+        assert result.miss_latency.mean == pytest.approx(250, abs=1)
+
+    def test_empty_trace(self):
+        driver, _ = make_driver()
+        result = driver.run([])
+        assert result.miss_count == 0
+        assert result.execution_cycles == 0
+
+    def test_in_order_retire_blocks_on_oldest(self):
+        """A slow head miss must stall the window even if younger misses
+        completed long ago."""
+        events = EventQueue()
+
+        class HeadBlocksBackend(InstantBackend):
+            def submit(self, address, now, is_write, on_complete=None):
+                latency = 10_000 if not self.submissions else 10
+                self.submissions.append((address, now, is_write))
+                if on_complete is not None:
+                    self.events.at(now + latency,
+                                   lambda: on_complete(now + latency))
+
+        backend = HeadBlocksBackend(events)
+        config = table2_config(DesignPoint.NONSECURE, channels=1)
+        driver = SimulationDriver(config, backend, events, mlp=2,
+                                  workload_name="unit")
+        result = driver.run(miss_trace(6))
+        # the third miss cannot issue before the first (10k) retires
+        assert result.execution_cycles >= 10_000

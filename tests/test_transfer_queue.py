@@ -1,0 +1,88 @@
+"""Tests for the inter-SDIMM transfer queue."""
+
+import pytest
+
+from repro.core.transfer_queue import TransferQueue, TransferQueueOverflow
+from repro.oram.bucket import Block
+from repro.utils.rng import DeterministicRng
+
+
+def make_queue(capacity=8, p=0.0, seed=1):
+    return TransferQueue(capacity, p, DeterministicRng(seed, "tq"))
+
+
+def block(address, leaf=0):
+    return Block(address, leaf, bytes(16))
+
+
+class TestTransferQueue:
+    def test_push_and_service_fifo(self):
+        queue = make_queue()
+        queue.push(block(1))
+        queue.push(block(2))
+        assert queue.service(via_drain=False).address == 1
+        assert queue.service(via_drain=False).address == 2
+
+    def test_service_empty_returns_none(self):
+        assert make_queue().service(via_drain=False) is None
+
+    def test_overflow_raises(self):
+        queue = make_queue(capacity=2)
+        queue.push(block(1))
+        queue.push(block(2))
+        with pytest.raises(TransferQueueOverflow):
+            queue.push(block(3))
+        assert queue.overflows == 1
+
+    def test_contains_and_find(self):
+        queue = make_queue()
+        queue.push(block(7, leaf=3))
+        assert 7 in queue
+        assert 8 not in queue
+        assert queue.find(7).leaf == 3
+        assert queue.find(8) is None
+
+    def test_remove_specific(self):
+        queue = make_queue()
+        queue.push(block(1))
+        queue.push(block(2))
+        queue.push(block(3))
+        assert queue.remove(2).address == 2
+        assert len(queue) == 2
+        with pytest.raises(KeyError):
+            queue.remove(2)
+
+    def test_drain_probability_zero_never_triggers(self):
+        queue = make_queue(capacity=100, p=0.0)
+        assert not any(queue.push(block(index)) for index in range(50))
+
+    def test_drain_probability_one_always_triggers(self):
+        queue = make_queue(capacity=100, p=1.0)
+        assert all(queue.push(block(index)) for index in range(50))
+
+    def test_drain_rate_matches_probability(self):
+        queue = make_queue(capacity=10_000, p=0.3, seed=5)
+        triggers = sum(queue.push(block(index)) for index in range(5000))
+        assert 0.25 < triggers / 5000 < 0.35
+
+    def test_statistics(self):
+        queue = make_queue(capacity=10, p=1.0)
+        queue.push(block(1))
+        queue.service(via_drain=True)
+        queue.push(block(2))
+        queue.service(via_drain=False)
+        assert queue.arrivals == 2
+        assert queue.drain_services == 1
+        assert queue.vacancy_services == 1
+        assert queue.peak_occupancy == 1
+
+    def test_utilization_formula(self):
+        assert make_queue(p=0.05).utilization_estimate == \
+            pytest.approx(0.25 / 0.30)
+        assert make_queue(p=0.0).utilization_estimate == 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            make_queue(capacity=0)
+        with pytest.raises(ValueError):
+            make_queue(p=1.5)

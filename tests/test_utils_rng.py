@@ -1,0 +1,77 @@
+"""Tests for deterministic component-scoped RNG streams."""
+
+from repro.utils.rng import DeterministicRng, ZipfSampler, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestDeterministicRng:
+    def test_same_stream_same_values(self):
+        first = DeterministicRng(7, "leaf")
+        second = DeterministicRng(7, "leaf")
+        assert [first.random_leaf(1024) for _ in range(50)] == \
+            [second.random_leaf(1024) for _ in range(50)]
+
+    def test_different_names_diverge(self):
+        first = DeterministicRng(7, "leaf")
+        second = DeterministicRng(7, "drain")
+        draws_a = [first.random_leaf(1 << 20) for _ in range(20)]
+        draws_b = [second.random_leaf(1 << 20) for _ in range(20)]
+        assert draws_a != draws_b
+
+    def test_children_are_independent(self):
+        parent = DeterministicRng(7, "root")
+        child_a = parent.child("a")
+        child_b = parent.child("b")
+        assert [child_a.randrange(1000) for _ in range(10)] != \
+            [child_b.randrange(1000) for _ in range(10)]
+
+    def test_random_leaf_in_range(self):
+        rng = DeterministicRng(3, "x")
+        for _ in range(1000):
+            assert 0 <= rng.random_leaf(37) < 37
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRng(3, "x")
+        assert not any(rng.bernoulli(0.0) for _ in range(100))
+        assert all(rng.bernoulli(1.0) for _ in range(100))
+
+    def test_bernoulli_rate(self):
+        rng = DeterministicRng(3, "x")
+        hits = sum(rng.bernoulli(0.3) for _ in range(20000))
+        assert 0.27 < hits / 20000 < 0.33
+
+    def test_random_bytes_length(self):
+        rng = DeterministicRng(3, "x")
+        assert len(rng.random_bytes(17)) == 17
+
+
+class TestZipfSampler:
+    def test_skew_toward_low_ranks(self):
+        rng = DeterministicRng(11, "zipf")
+        sampler = ZipfSampler(rng, 100, 1.0)
+        draws = [sampler.sample() for _ in range(5000)]
+        head = sum(1 for draw in draws if draw < 10)
+        tail = sum(1 for draw in draws if draw >= 90)
+        assert head > 4 * tail
+
+    def test_in_range(self):
+        rng = DeterministicRng(11, "zipf")
+        sampler = ZipfSampler(rng, 13, 0.8)
+        assert all(0 <= sampler.sample() < 13 for _ in range(500))
+
+    def test_uniform_when_exponent_zero(self):
+        rng = DeterministicRng(11, "zipf")
+        sampler = ZipfSampler(rng, 10, 0.0)
+        draws = [sampler.sample() for _ in range(10000)]
+        counts = [draws.count(index) for index in range(10)]
+        assert max(counts) < 2 * min(counts)
