@@ -10,6 +10,8 @@ Subcommands:
 * ``coresident`` — non-secure VM latency next to each secure design.
 * ``trace``    — generate a synthetic miss trace to a file.
 * ``designs`` / ``workloads`` — list what is available.
+* ``lint``     — run reprolint, the repository's own static analyzer
+  (obliviousness / constant-time / determinism invariants).
 """
 
 from __future__ import annotations
@@ -173,6 +175,31 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Handle ``repro lint``; exit codes 0 clean / 1 findings / 2 errors."""
+    from repro.lint import (lint_paths, render_json, render_rule_list,
+                            render_text)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+    selected = (args.select.split(",") if args.select else None)
+    try:
+        result = lint_paths(args.paths, selected_rules=selected)
+    except FileNotFoundError as error:
+        print(f"reprolint: no such path: {error.args[0]}", file=sys.stderr)
+        return 2
+    except KeyError as error:
+        print(f"reprolint: unknown rule {error.args[0]!r} "
+              f"(see --list-rules)", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code()
+
+
 def cmd_designs(_args) -> int:
     """Handle ``repro designs``."""
     for design in DesignPoint:
@@ -245,6 +272,18 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--length", type=int, default=10_000)
     trace.add_argument("--seed", type=int, default=2018)
     trace.set_defaults(handler=cmd_trace)
+
+    lint = subparsers.add_parser(
+        "lint", help="run reprolint over source trees")
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files or directories to lint (default: src)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="describe every registered rule and exit")
+    lint.set_defaults(handler=cmd_lint)
 
     subparsers.add_parser("designs", help="list design points") \
         .set_defaults(handler=cmd_designs)

@@ -105,7 +105,7 @@ class IndependentBuffer:
         it maps to another SDIMM the block is removed from the local stash
         and handed back for migration.
         """
-        if self.owner_of(old_global_leaf) != self.sdimm_id:
+        if self.owner_of(old_global_leaf) != self.sdimm_id:  # reprolint: disable=SEC002 -- sanity assert; owner(leaf) is the public routing fact (threat_model.md: destination randomness)
             raise ValueError(f"leaf {old_global_leaf} not owned by "
                              f"SDIMM {self.sdimm_id}")
         self.accesses += 1
@@ -131,7 +131,7 @@ class IndependentBuffer:
 
         new_global_leaf = oram.rng.random_leaf(self._global_leaf_count)
         moved: Optional[Block] = None
-        if self.owner_of(new_global_leaf) == self.sdimm_id:
+        if self.owner_of(new_global_leaf) == self.sdimm_id:  # reprolint: disable=SEC002 -- on-buffer remap decision; migration is hidden by the APPEND broadcast
             block.leaf = self._local(new_global_leaf)
         else:
             moved = oram.stash.remove(address)
@@ -157,7 +157,7 @@ class IndependentBuffer:
             return 0
         local_block = Block(block.address, block.leaf, block.data)
         drain_now = self.queue.push(local_block)
-        if not drain_now:
+        if not drain_now:  # reprolint: disable=SEC002 -- drain decision reads queue occupancy on the trusted buffer; bus sees a full dummy access
             return 0
         serviced = self.queue.service(via_drain=True)
         if serviced is not None:
@@ -234,7 +234,7 @@ class IndependentProtocol:
         # owner (and only if the block actually migrated).
         new_owner = self.sdimms[0].owner_of(outcome.new_global_leaf)
         for index, sdimm in enumerate(self.sdimms):
-            payload = (outcome.moved_block
+            payload = (outcome.moved_block  # reprolint: disable=SEC002 -- every SDIMM gets an APPEND; real-vs-dummy is under the link encryption
                        if index == new_owner and outcome.moved_block
                        else None)
             self.link.up(SdimmCommand.APPEND, index, self.block_bytes)

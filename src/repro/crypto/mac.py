@@ -10,6 +10,8 @@ calls out.
 
 from __future__ import annotations
 
+import hmac
+
 from repro.crypto.prf import Prf
 
 
@@ -29,7 +31,9 @@ class MacEngine:
         return self._prf.evaluate(b"mac:" + message, self.TAG_BYTES)
 
     def verify(self, message: bytes, tag: bytes) -> None:
-        if self.tag(message) != tag:
+        # Constant-time: == short-circuits at the first differing byte,
+        # handing a bus-level adversary a byte-position timing oracle.
+        if not hmac.compare_digest(self.tag(message), tag):
             raise MacError("link MAC verification failed")
 
 
@@ -53,7 +57,8 @@ class PmmacAuthenticator:
 
     def verify(self, bucket_index: int, counter: int, payload: bytes,
                tag: bytes) -> None:
-        if self.tag(bucket_index, counter, payload) != tag:
+        expected = self.tag(bucket_index, counter, payload)
+        if not hmac.compare_digest(expected, tag):
             raise MacError(
                 f"PMMAC verification failed for bucket {bucket_index} "
                 f"at counter {counter}"

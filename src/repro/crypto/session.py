@@ -10,6 +10,7 @@ exercise the message flow without a real RSA/ECC implementation.
 
 from __future__ import annotations
 
+import hmac
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -127,9 +128,12 @@ def establish_session(buffer_id: int, buffer_seed: bytes, cpu_seed: bytes,
     # RECEIVE_SECRET: CPU sends its ephemeral public value; both sides
     # compute the shared secret.
     cpu_private, cpu_public = _keypair(cpu_seed)
-    cpu_shared = pow(presented.public_key, cpu_private, _PRIME)
-    buffer_shared = pow(cpu_public, buffer_private, _PRIME)
-    if cpu_shared != buffer_shared:
+    cpu_shared_secret = pow(presented.public_key, cpu_private, _PRIME)
+    buffer_shared_secret = pow(cpu_public, buffer_private, _PRIME)
+    # Compare the derived secrets constant-time; a != over bignums leaks
+    # how many limbs matched, which here is key material.
+    if not hmac.compare_digest(cpu_shared_secret.to_bytes(16, "little"),
+                               buffer_shared_secret.to_bytes(16, "little")):
         raise AuthenticationError("key agreement failed")
 
-    return SecureSession(cpu_shared), SecureSession(buffer_shared)
+    return SecureSession(cpu_shared_secret), SecureSession(buffer_shared_secret)

@@ -1,0 +1,35 @@
+"""reprolint — AST-based static analysis for this repository's invariants.
+
+Secure DIMM's security argument and this reproduction's test strategy
+both rest on coding invariants no ordinary linter checks: MAC/tag
+comparisons must be constant-time (SEC001), protocol control flow must
+not depend on secret state (SEC002), nothing outside the sanctioned RNG
+may consume ambient nondeterminism (DET001), and cycle accounting must
+stay in exact integers (DET002).  ``python -m repro lint`` enforces all
+four; ``docs/lint.md`` documents each family and the suppression
+syntax.
+
+Public API::
+
+    from repro.lint import lint_paths, lint_source
+    result = lint_paths(["src/repro"])
+    result.exit_code()   # 0 clean, 1 findings, 2 file errors
+"""
+
+from repro.lint.findings import (Finding, LintError, LintResult,  # noqa: F401
+                                 Severity)
+from repro.lint.registry import (Rule, all_rule_ids, all_rules,  # noqa: F401
+                                 get_rule, register, select_rules)
+from repro.lint.reporting import (SCHEMA_VERSION, render_json,  # noqa: F401
+                                  render_rule_list, render_text, to_payload)
+from repro.lint.runner import (iter_python_files, lint_paths,  # noqa: F401
+                               lint_source)
+
+__all__ = [
+    "Finding", "LintError", "LintResult", "Severity",
+    "Rule", "register", "all_rules", "all_rule_ids", "get_rule",
+    "select_rules",
+    "lint_paths", "lint_source", "iter_python_files",
+    "render_text", "render_json", "render_rule_list", "to_payload",
+    "SCHEMA_VERSION",
+]

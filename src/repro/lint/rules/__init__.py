@@ -1,0 +1,3 @@
+"""Bundled reprolint rules; importing this package registers them all."""
+
+from repro.lint.rules import det001, det002, sec001, sec002  # noqa: F401

@@ -1,0 +1,120 @@
+"""Shared AST helpers for the rule implementations.
+
+All rules reason about *identifier segments*: ``pmmac_tag`` splits into
+``{"pmmac", "tag"}`` so vocabulary matching is whole-word (``mac``
+matches ``link_mac`` but not ``machine``).  Dunder names are never
+segmented — ``__hash__`` must not look like cryptographic material.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, Optional, Set
+
+
+def identifier_segments(name: str) -> FrozenSet[str]:
+    """Lower-cased snake_case segments of an identifier."""
+    if name.startswith("__") and name.endswith("__"):
+        return frozenset()
+    return frozenset(segment for segment in name.lower().split("_")
+                     if segment)
+
+
+def node_name(node: ast.AST) -> Optional[str]:
+    """The identifier a Name/Attribute/arg node carries, else None."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.arg):
+        return node.arg
+    return None
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a Name/Attribute chain as ``a.b.c`` (None if not a chain)."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> Optional[str]:
+    """The (undotted) name of the function a call invokes."""
+    return node_name(node.func)
+
+
+def names_in(node: ast.AST) -> Iterator[str]:
+    """Every identifier mentioned anywhere inside an expression."""
+    for child in ast.walk(node):
+        name = node_name(child)
+        if name is not None:
+            yield name
+
+
+def expression_matches_vocabulary(node: ast.AST,
+                                  vocabulary: FrozenSet[str]) -> Optional[str]:
+    """First identifier in the expression whose segments hit ``vocabulary``.
+
+    Used where *any* mention taints the expression (branch conditions).
+    """
+    for name in names_in(node):
+        if identifier_segments(name) & vocabulary:
+            return name
+    return None
+
+
+def head_identifier(node: ast.AST) -> Optional[str]:
+    """The identifier that labels the *value* an expression produces.
+
+    ``tag`` -> ``tag``; ``self.link_mac`` -> ``link_mac``;
+    ``self.tag(msg)`` -> ``tag`` (a call is named by its callee);
+    ``tag[0]`` / ``tag[:8]`` -> ``tag``.  Arithmetic, literals and other
+    compound expressions have no head identifier.
+    """
+    if isinstance(node, (ast.Name, ast.Attribute)):
+        return node_name(node)
+    if isinstance(node, ast.Call):
+        return call_name(node)
+    if isinstance(node, ast.Subscript):
+        return head_identifier(node.value)
+    if isinstance(node, ast.Await):
+        return head_identifier(node.value)
+    return None
+
+
+def assignment_target_names(node: ast.AST) -> Set[str]:
+    """The names an assignment statement binds (or rebinds through).
+
+    ``self.x = v`` binds ``x`` — not ``self``; ``a[i] = v`` taints ``a``
+    but never the index expression.
+    """
+    targets = []
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    names: Set[str] = set()
+    for target in targets:
+        _collect_binding_names(target, names)
+    return names
+
+
+def _collect_binding_names(target: ast.AST, names: Set[str]) -> None:
+    if isinstance(target, ast.Name):
+        names.add(target.id)
+    elif isinstance(target, ast.Attribute):
+        names.add(target.attr)
+    elif isinstance(target, ast.Subscript):
+        head = head_identifier(target.value)
+        if head:
+            names.add(head)
+    elif isinstance(target, ast.Starred):
+        _collect_binding_names(target.value, names)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _collect_binding_names(element, names)

@@ -1,0 +1,81 @@
+"""SEC001 — non-constant-time comparison of authenticator material.
+
+``==`` / ``!=`` on byte strings short-circuits at the first differing
+byte, so the time a MAC/hash verification takes reveals how much of the
+forged tag was correct — the classic remote timing oracle (e.g. the
+Xbox 360 boot hack and CVE-2009-0696-era HMAC bypasses).  An adversary
+with a logic analyzer on the link, which is exactly Secure DIMM's threat
+model, gets that timing for free.  Verification of tags, MACs, digests
+and derived secrets must go through :func:`hmac.compare_digest`.
+
+The heuristic: flag an equality comparison when either operand's *head*
+identifier (the name labelling the value, see
+:func:`repro.lint.rules.common.head_identifier`) contains a secret-ish
+segment — ``tag``, ``mac``, ``digest``, ``hash``, ``secret`` … .  Using
+the head identifier rather than any mention keeps ``len(tag) != 8``
+(a length check, constant time) out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+from repro.lint.rules.common import head_identifier, identifier_segments
+
+_SECRET_SEGMENTS = frozenset({
+    "tag", "tags", "mac", "macs", "pmmac", "hmac",
+    "digest", "digests", "hash", "hashes",
+    "secret", "secrets", "signature", "signatures", "sig",
+})
+
+
+def _secret_operand(node: ast.AST) -> str:
+    name = head_identifier(node)
+    if name and identifier_segments(name) & _SECRET_SEGMENTS:
+        return name
+    return ""
+
+
+@register
+class NonConstantTimeComparison(Rule):
+    rule_id = "SEC001"
+    title = "non-constant-time comparison of secret material"
+    rationale = ("== / != on tags, MACs, digests or secrets leaks a "
+                 "byte-position timing oracle; use hmac.compare_digest")
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                culprit = _secret_operand(left) or _secret_operand(right)
+                # A length/sentinel check is not a content comparison.
+                if culprit and not _compares_sentinel(left, right):
+                    yield self.finding(
+                        context, node,
+                        f"comparison of {culprit!r} with "
+                        f"{'!=' if isinstance(op, ast.NotEq) else '=='} is "
+                        f"not constant-time; use hmac.compare_digest()")
+
+
+def _compares_sentinel(left: ast.AST, right: ast.AST) -> bool:
+    """True when one side is a public sentinel, not secret content.
+
+    Covers non-bytes literals (``hash_checks == 0``) and the ALL_CAPS
+    module-constant convention (``tag != DUMMY_TAG`` — an ORAM slot
+    occupancy tag against a published dummy marker, not MAC material).
+    """
+    for side in (left, right):
+        if isinstance(side, ast.Constant) and not isinstance(side.value, bytes):
+            return True
+        name = head_identifier(side)
+        if (name and not isinstance(side, ast.Call)
+                and name.upper() == name and any(c.isalpha() for c in name)):
+            return True
+    return False

@@ -1,0 +1,165 @@
+"""SEC002 — secret-dependent control flow in protocol handlers.
+
+The Secure DIMM security argument (docs/threat_model.md §3) requires
+that the CPU<->buffer message sequence and the buffer<->DRAM command
+stream be *shapes* fixed by the protocol — never functions of secret
+state.  A branch or loop bound that depends on a leaf ID, a tag, or
+stash contents changes instruction timing and message timing with the
+secret, which the bus-level adversary observes directly.  MP-SPDZ and
+friends make secret-dependent branching a compile-time error; this rule
+is the lightweight equivalent for this codebase.
+
+Heuristic taint analysis, per function:
+
+* seeds — any identifier (parameter, local, attribute) whose segments
+  hit the secret vocabulary (``leaf``, ``plaintext``, ``secret`` …),
+  plus anything annotated ``# reprolint: secret`` on its assignment line;
+* propagation — a simple assignment whose right side mentions a tainted
+  name taints the bound names (one forward pass per function, repeated
+  to a fixpoint);
+* sinks — ``if`` / ``while`` / ternary conditions and ``range()`` loop
+  bounds mentioning a tainted name anywhere.
+
+Scoped to the protocol layers (``core/``, ``oram/stash.py``): those are
+the state machines whose timing an adversary can clock.  Trusted
+on-chip logic whose timing provably never reaches a bus may suppress
+with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Set
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, Rule, register
+from repro.lint.rules.common import (assignment_target_names,
+                                     identifier_segments, names_in)
+
+_SECRET_VOCABULARY = frozenset({
+    "leaf", "leaves", "plaintext", "plaintexts",
+    "secret", "secrets",
+})
+
+_SECRET_ANNOTATION = re.compile(r"#\s*reprolint:\s*secret\b")
+
+
+def _vocabulary_hit(name: str) -> bool:
+    return bool(identifier_segments(name) & _SECRET_VOCABULARY)
+
+
+def _is_computed_bound(iterable: ast.AST) -> bool:
+    return (isinstance(iterable, ast.Call)
+            and isinstance(iterable.func, ast.Name)
+            and iterable.func.id in {"range", "len"})
+
+
+def _is_none_presence_test(condition: ast.AST) -> bool:
+    """``x is None`` / ``x is not None`` checks argument *presence*, not
+    secret content — a different (and here untainted) signal."""
+    if isinstance(condition, ast.UnaryOp) and isinstance(condition.op,
+                                                         ast.Not):
+        return _is_none_presence_test(condition.operand)
+    return (isinstance(condition, ast.Compare)
+            and len(condition.ops) == 1
+            and isinstance(condition.ops[0], (ast.Is, ast.IsNot))
+            and any(isinstance(side, ast.Constant) and side.value is None
+                    for side in (condition.left, condition.comparators[0])))
+
+
+@register
+class SecretDependentBranch(Rule):
+    rule_id = "SEC002"
+    title = "secret-dependent branch or loop bound"
+    rationale = ("control flow conditioned on leaf IDs, plaintext or other "
+                 "secret state modulates observable timing; restructure to "
+                 "a fixed shape or justify a suppression")
+    path_markers = ("core/", "stash",)
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        annotated = self._annotated_lines(context)
+        for node in ast.walk(context.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(context, node, annotated)
+
+    @staticmethod
+    def _annotated_lines(context: FileContext) -> Set[int]:
+        lines = set()
+        for lineno, line in enumerate(context.lines, start=1):
+            if _SECRET_ANNOTATION.search(line):
+                lines.add(lineno)
+        return lines
+
+    def _check_function(self, context: FileContext, function: ast.AST,
+                        annotated: Set[int]) -> Iterator[Finding]:
+        tainted = self._taint(function, annotated)
+        if not tainted:
+            return
+        body = getattr(function, "body", [])
+        for statement in body:
+            for node in ast.walk(statement):
+                # Nested defs run their own analysis.
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                condition = None
+                kind = None
+                if isinstance(node, (ast.If, ast.While)):
+                    condition, kind = node.test, "branch condition"
+                elif isinstance(node, ast.IfExp):
+                    condition, kind = node.test, "conditional expression"
+                elif isinstance(node, ast.For):
+                    # Iterating a fixed-length structure (an ORAM path is
+                    # always `levels` long) has a fixed shape; only an
+                    # explicitly computed bound — range()/len() over
+                    # tainted values — varies the trip count.
+                    if _is_computed_bound(node.iter):
+                        condition, kind = node.iter, "loop bound"
+                if condition is None or _is_none_presence_test(condition):
+                    continue
+                culprit = self._tainted_name(condition, tainted)
+                if culprit:
+                    yield self.finding(
+                        context, node,
+                        f"{kind} depends on secret-tainted value "
+                        f"{culprit!r}; protocol timing must not be a "
+                        f"function of secret state")
+
+    @staticmethod
+    def _tainted_name(expression: ast.AST, tainted: Set[str]) -> str:
+        for name in names_in(expression):
+            if name in tainted or _vocabulary_hit(name):
+                return name
+        return ""
+
+    @staticmethod
+    def _taint(function: ast.AST, annotated: Set[int]) -> Set[str]:
+        """Forward may-taint over plain assignments, to a fixpoint."""
+        tainted: Set[str] = set()
+        for argument in ast.walk(getattr(function, "args", ast.arguments(
+                posonlyargs=[], args=[], kwonlyargs=[], kw_defaults=[],
+                defaults=[]))):
+            if isinstance(argument, ast.arg) and _vocabulary_hit(argument.arg):
+                tainted.add(argument.arg)
+        statements = [node for statement in getattr(function, "body", [])
+                      for node in ast.walk(statement)
+                      if isinstance(node, (ast.Assign, ast.AugAssign,
+                                           ast.AnnAssign))]
+        changed = True
+        while changed:
+            changed = False
+            for statement in statements:
+                value = getattr(statement, "value", None)
+                if value is None:
+                    continue
+                source_tainted = (
+                    statement.lineno in annotated or
+                    any(name in tainted or _vocabulary_hit(name)
+                        for name in names_in(value)))
+                if not source_tainted:
+                    continue
+                for target in assignment_target_names(statement):
+                    if target not in tainted:
+                        tainted.add(target)
+                        changed = True
+        return tainted

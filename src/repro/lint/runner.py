@@ -1,0 +1,123 @@
+"""File discovery and rule execution.
+
+The runner is deliberately boring: enumerate Python files under the
+requested paths in sorted order (determinism applies to the linter
+too), parse each once, hand the tree to every rule whose path scope
+matches, and drop findings the file's suppression directives cover.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.lint.findings import LintError, LintResult
+from repro.lint.registry import FileContext, Rule, select_rules
+from repro.lint.suppressions import parse_suppressions
+
+_SKIP_DIRECTORIES = {"__pycache__", ".git", ".venv", "venv",
+                     ".mypy_cache", ".ruff_cache", ".pytest_cache",
+                     "build", "dist"}
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths``, sorted, without dupes."""
+    seen = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            candidates = [root]   # explicit files are linted regardless of suffix
+        elif root.is_dir():
+            candidates = sorted(
+                candidate for candidate in root.rglob("*.py")
+                if not (_SKIP_DIRECTORIES &
+                        set(part for part in candidate.parts)))
+        else:
+            raise FileNotFoundError(raw)
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_file(path: Path, rules: Sequence[Rule],
+              result: LintResult) -> None:
+    """Lint one file, appending findings/errors into ``result``."""
+    posix = path.as_posix()
+    applicable = [rule for rule in rules if rule.applies_to(posix)]
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        result.errors.append(LintError(posix, f"unreadable: {error}"))
+        return
+    try:
+        tree = ast.parse(source, filename=posix)
+    except SyntaxError as error:
+        result.errors.append(
+            LintError(posix, f"syntax error at line {error.lineno}: "
+                             f"{error.msg}"))
+        return
+    result.files_checked += 1
+    if not applicable:
+        return
+    suppressions = parse_suppressions(source)
+    context = FileContext(posix, source, tree)
+    for rule in applicable:
+        for finding in rule.check(context):
+            if suppressions.is_suppressed(finding.rule_id, finding.line):
+                result.suppressed_count += 1
+            else:
+                result.findings.append(finding)
+
+
+def lint_paths(paths: Iterable[str],
+               selected_rules: Optional[Iterable[str]] = None) -> LintResult:
+    """Lint every Python file under ``paths`` with the selected rules.
+
+    Raises:
+        FileNotFoundError: a requested path does not exist.
+        KeyError: ``selected_rules`` names an unknown rule.
+    """
+    rules = select_rules(selected_rules)
+    result = LintResult()
+    for path in iter_python_files(paths):
+        lint_file(path, rules, result)
+    result.findings.sort(key=lambda finding: (finding.path, finding.line,
+                                              finding.column,
+                                              finding.rule_id))
+    return result
+
+
+def lint_source(source: str, path: str = "<memory>",
+                selected_rules: Optional[Iterable[str]] = None) -> LintResult:
+    """Lint an in-memory source string (test and tooling convenience).
+
+    The ``path`` is used for rule scoping exactly as an on-disk path
+    would be, so callers can probe path-scoped rules by faking layouts.
+    """
+    rules = select_rules(selected_rules)
+    result = LintResult()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        result.errors.append(
+            LintError(path, f"syntax error at line {error.lineno}: "
+                            f"{error.msg}"))
+        return result
+    result.files_checked = 1
+    suppressions = parse_suppressions(source)
+    context = FileContext(path, source, tree)
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(context):
+            if suppressions.is_suppressed(finding.rule_id, finding.line):
+                result.suppressed_count += 1
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda finding: (finding.path, finding.line,
+                                              finding.column,
+                                              finding.rule_id))
+    return result

@@ -1,0 +1,65 @@
+"""Suppression-comment parsing.
+
+Two forms, both with room for a trailing justification:
+
+* per-line — on the line a finding is reported at (for a multi-line
+  statement, the line the node starts on)::
+
+      if self.tag(m) != t:  # reprolint: disable=SEC001 -- sim-only path
+
+* per-file — anywhere in the file, conventionally near the top::
+
+      # reprolint: disable-file=DET001 -- replay tool, wall clock is fine
+
+Rule lists are comma separated; the token ``all`` silences every rule.
+Anything after the rule list (a ``--`` justification, prose) is ignored
+by the parser but strongly encouraged by the style guide in
+``docs/lint.md``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Set
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*disable(?P<file>-file)?\s*=\s*(?P<rules>[A-Za-z0-9_,\s]+)"
+)
+_TOKEN = re.compile(r"[A-Za-z]+[0-9]+|all", re.IGNORECASE)
+
+
+class SuppressionIndex:
+    """Per-file map of which rules are silenced where."""
+
+    def __init__(self) -> None:
+        self.file_level: Set[str] = set()
+        self.by_line: Dict[int, Set[str]] = {}
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        for scope in (self.file_level, self.by_line.get(line, ())):
+            if "ALL" in scope or rule_id.upper() in scope:
+                return True
+        return False
+
+
+def parse_suppressions(source: str) -> SuppressionIndex:
+    """Scan source text for reprolint directives.
+
+    Works on raw lines rather than the AST so that directives survive in
+    files the parser rejects elsewhere, and so a directive on a
+    continuation line is simply inert instead of an error.
+    """
+    index = SuppressionIndex()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE.search(line)
+        if not match:
+            continue
+        tokens = {token.upper() for token in
+                  _TOKEN.findall(match.group("rules"))}
+        if not tokens:
+            continue
+        if match.group("file"):
+            index.file_level |= tokens
+        else:
+            index.by_line.setdefault(lineno, set()).update(tokens)
+    return index

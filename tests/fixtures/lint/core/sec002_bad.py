@@ -1,0 +1,39 @@
+"""SEC002 fixture (path contains ``core/``): all flagged."""
+
+
+def branch_on_leaf(leaf, limit):
+    if leaf > limit:                        # flagged: direct vocabulary hit
+        return 1
+    return 0
+
+
+def branch_on_derived(leaf):
+    owner = leaf % 4                        # taints `owner`
+    if owner == 0:                          # flagged: tainted name
+        return "local"
+    return "remote"
+
+
+def loop_on_secret_bound(secret_count):
+    total = 0
+    for _ in range(secret_count):           # flagged: tainted range() bound
+        total += 1
+    return total
+
+
+def while_on_plaintext(plaintext):
+    while plaintext:                        # flagged: vocabulary hit
+        plaintext = plaintext[1:]
+    return plaintext
+
+
+def ternary_on_taint(new_leaf, a, b):
+    stays = new_leaf < 8                    # taints `stays`
+    return a if stays else b                # flagged: tainted ternary
+
+
+def annotated_secret(value):
+    request = value                         # reprolint: secret
+    if request:                             # flagged: annotation taint
+        return 1
+    return 0

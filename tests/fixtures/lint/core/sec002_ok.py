@@ -1,0 +1,27 @@
+"""SEC002 fixture (path contains ``core/``): none flagged."""
+
+
+def structural_iteration(path_buckets, leaf):
+    # Iterating a fixed-length structure is a fixed shape even when the
+    # contents are secret; only computed bounds count.
+    total = 0
+    for bucket in path_buckets:
+        total += bucket
+    return total + (leaf - leaf)
+
+
+def presence_test(override_new_leaf):
+    if override_new_leaf is not None:       # presence, not content
+        return override_new_leaf
+    return 0
+
+
+def public_branch(way_count, burst):
+    if way_count > 2:                       # nothing secret involved
+        return burst * way_count
+    return burst
+
+
+def untainted_loop(way_count):
+    for way in range(way_count):            # public bound
+        yield way

@@ -1,0 +1,7 @@
+"""DET001 fixture: path contains ``crypto/`` so the rule never runs."""
+
+import os
+
+
+def entropy():
+    return os.urandom(16)                   # exempt by path scope

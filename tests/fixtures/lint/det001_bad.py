@@ -1,0 +1,45 @@
+"""DET001 fixture: every statement below must be flagged."""
+
+import os
+import random
+import time
+import uuid
+from datetime import datetime
+
+
+def wall_clock():
+    return time.time()                      # flagged: clock
+
+
+def wall_clock_datetime():
+    return datetime.now()                   # flagged: clock
+
+
+def ambient_entropy():
+    return os.urandom(16)                   # flagged: entropy
+
+
+def ambient_uuid():
+    return uuid.uuid4()                     # flagged: entropy
+
+
+def global_random():
+    return random.randint(0, 7)             # flagged: process-global RNG
+
+
+def set_iteration(items):
+    for item in set(items):                 # flagged: unordered iteration
+        yield item
+
+
+def set_literal_iteration():
+    for item in {3, 1, 2}:                  # flagged: unordered iteration
+        yield item
+
+
+def set_comprehension(items):
+    return [item for item in {i for i in items}]   # flagged: generator
+
+
+def set_materialization(items):
+    return list(set(items))                 # flagged: unordered order

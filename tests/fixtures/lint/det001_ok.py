@@ -1,0 +1,21 @@
+"""DET001 fixture: none of these may be flagged."""
+
+import random
+
+
+def seeded_instance(seed):
+    return random.Random(seed).randint(0, 7)    # instance RNG is fine
+
+
+def sorted_set(items):
+    for item in sorted(set(items)):             # sorted first
+        yield item
+
+
+def membership(items, needle):
+    return needle in set(items)                 # membership, not iteration
+
+
+def dict_iteration(table):
+    for key in table:                           # dicts preserve order
+        yield key

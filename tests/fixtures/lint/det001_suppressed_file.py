@@ -1,0 +1,12 @@
+"""DET001 fixture: a file-level directive silences the whole family."""
+# reprolint: disable-file=DET001 -- fixture: wall-clock tool, not simulation
+
+import time
+
+
+def stamp():
+    return time.time()                      # suppressed by the file directive
+
+
+def stamp_again():
+    return time.time()                      # also suppressed

@@ -1,0 +1,23 @@
+"""SEC001 fixture: every construct below must be flagged."""
+
+
+class Verifier:
+    def tag(self, message):
+        return message[:8]
+
+    def verify_direct(self, message, tag):
+        if self.tag(message) != tag:            # flagged: != on a tag
+            raise ValueError("bad tag")
+
+    def verify_equality(self, expected_mac, presented_mac):
+        return expected_mac == presented_mac    # flagged: == on MACs
+
+    def verify_digest(self, payload, digest):
+        computed_digest = payload[:16]
+        if computed_digest == digest:           # flagged: == on digests
+            return True
+        return False
+
+    def verify_chain(self, stored_hash, recomputed_hash, ok):
+        # flagged: chained comparison touching hashes
+        return ok == (stored_hash == recomputed_hash)

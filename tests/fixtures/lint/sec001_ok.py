@@ -1,0 +1,29 @@
+"""SEC001 fixture: none of these may be flagged."""
+
+import hmac
+
+DUMMY_TAG = (1 << 64) - 1
+
+
+def verify(message, tag, compute):
+    return hmac.compare_digest(compute(message), tag)   # sanctioned
+
+
+def length_check(tag):
+    return len(tag) != 8            # length, not content
+
+
+def sentinel_check(tag):
+    return tag != DUMMY_TAG         # ALL_CAPS public sentinel
+
+
+def counter_check(hash_checks):
+    return hash_checks == 0         # int literal comparison
+
+
+def presence_check(tag):
+    return tag is None              # identity, not equality
+
+
+def unrelated(machine, count):
+    return machine == count         # no secret-ish head identifier

@@ -1,0 +1,15 @@
+"""DET002 fixture (path contains ``sim/``): all flagged."""
+
+
+class Counters:
+    def __init__(self, total, cpu_ratio):
+        self.busy_cycles = 0
+        self.busy_cycles = total / 2                  # flagged: true division
+        self.idle_cycles = total * 0.5                # flagged: float literal
+        self.ratio_cycles = float(cpu_ratio)          # flagged: float()
+
+    def accumulate(self, latency):
+        self.busy_cycles += latency / 4               # flagged: aug-assign /
+
+    def report(self, result_cls, total):
+        return result_cls(execution_cycles=total / 3)  # flagged: keyword

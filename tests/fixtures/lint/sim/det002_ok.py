@@ -1,0 +1,17 @@
+"""DET002 fixture (path contains ``sim/``): none flagged."""
+
+
+class Counters:
+    def __init__(self, total, tburst):
+        self.busy_cycles = 0
+        self.busy_cycles = total // 2                 # floor division
+        self.idle_cycles = total * 3                  # integer multiply
+        self.window_cycles = max(total, tburst)       # opaque, assumed int
+
+    def accumulate(self, count, tburst):
+        self.busy_cycles += count * tburst
+
+    def mean_latency(self, total):
+        # floats at the *reporting* boundary are fine: target name is not
+        # cycle accounting.
+        return total / max(1, self.busy_cycles)

@@ -1,0 +1,230 @@
+"""Tests for reprolint: rules, suppressions, output formats, exit codes.
+
+Fixture files under ``tests/fixtures/lint/`` mirror the path layout the
+rules scope on (``core/``, ``sim/``, ``crypto/``); each rule family has
+a violating and a clean fixture, and the suppression fixtures exercise
+both directive forms.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.lint import (SCHEMA_VERSION, all_rule_ids, lint_paths,
+                        lint_source, to_payload)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures", "lint")
+
+
+def fixture(*parts):
+    return os.path.join(FIXTURES, *parts)
+
+
+def rules_hit(result):
+    return sorted({finding.rule_id for finding in result.findings})
+
+
+class TestRegistry:
+    def test_all_four_families_registered(self):
+        assert all_rule_ids() == ["DET001", "DET002", "SEC001", "SEC002"]
+
+    def test_unknown_rule_selection_raises(self):
+        with pytest.raises(KeyError):
+            lint_source("x = 1", selected_rules=["NOPE999"])
+
+    def test_selection_narrows(self):
+        result = lint_paths([fixture("det001_bad.py")],
+                            selected_rules=["SEC001"])
+        assert result.findings == []
+
+
+class TestSec001:
+    def test_violations_detected(self):
+        result = lint_paths([fixture("sec001_bad.py")])
+        sec001 = [finding for finding in result.findings
+                  if finding.rule_id == "SEC001"]
+        assert len(sec001) == 4
+        assert all("compare_digest" in finding.message
+                   for finding in sec001)
+
+    def test_clean_fixture(self):
+        result = lint_paths([fixture("sec001_ok.py")])
+        assert result.findings == []
+
+    def test_fix_pattern_is_clean(self):
+        source = ("import hmac\n"
+                  "def verify(tag, expected):\n"
+                  "    return hmac.compare_digest(tag, expected)\n")
+        assert lint_source(source).findings == []
+
+
+class TestSec002:
+    def test_violations_detected(self):
+        result = lint_paths([fixture("core", "sec002_bad.py")])
+        sec002 = [finding for finding in result.findings
+                  if finding.rule_id == "SEC002"]
+        assert len(sec002) == 6
+
+    def test_clean_fixture(self):
+        result = lint_paths([fixture("core", "sec002_ok.py")])
+        assert result.findings == []
+
+    def test_path_scoping(self):
+        source = "def f(leaf):\n    if leaf:\n        return 1\n"
+        assert lint_source(source, path="core/handler.py").findings
+        assert not lint_source(source, path="energy/model.py").findings
+
+    def test_annotation_taint(self):
+        source = ("def f(value):\n"
+                  "    x = value  # reprolint: secret\n"
+                  "    if x:\n"
+                  "        return 1\n")
+        result = lint_source(source, path="core/handler.py")
+        assert rules_hit(result) == ["SEC002"]
+
+
+class TestDet001:
+    def test_violations_detected(self):
+        result = lint_paths([fixture("det001_bad.py")])
+        det001 = [finding for finding in result.findings
+                  if finding.rule_id == "DET001"]
+        assert len(det001) == 9
+
+    def test_clean_fixture(self):
+        result = lint_paths([fixture("det001_ok.py")])
+        assert result.findings == []
+
+    def test_crypto_and_rng_paths_exempt(self):
+        result = lint_paths([fixture("crypto", "det001_exempt.py")])
+        assert result.findings == []
+        source = "import time\nNOW = time.time()\n"
+        assert lint_source(source, path="src/repro/utils/rng.py").findings \
+            == []
+        assert lint_source(source, path="src/repro/sim/cpu.py").findings
+
+
+class TestDet002:
+    def test_violations_detected(self):
+        result = lint_paths([fixture("sim", "det002_bad.py")])
+        det002 = [finding for finding in result.findings
+                  if finding.rule_id == "DET002"]
+        assert len(det002) == 5
+
+    def test_clean_fixture(self):
+        result = lint_paths([fixture("sim", "det002_ok.py")])
+        assert result.findings == []
+
+    def test_scoped_to_timing_layers(self):
+        source = "busy_cycles = total / 2\n"
+        assert lint_source(source, path="sim/bus.py").findings
+        assert not lint_source(source, path="analysis/queueing.py").findings
+
+
+class TestSuppressions:
+    def test_per_line_directive(self):
+        result = lint_paths([fixture("core", "sec002_suppressed.py")])
+        assert len(result.findings) == 1      # only the audible one
+        assert result.findings[0].line == 11
+        assert result.suppressed_count == 1
+
+    def test_file_level_directive(self):
+        result = lint_paths([fixture("det001_suppressed_file.py")])
+        assert result.findings == []
+        assert result.suppressed_count == 2
+
+    def test_disable_all_token(self):
+        source = ("import time\n"
+                  "NOW = time.time()  # reprolint: disable=all\n")
+        result = lint_source(source)
+        assert result.findings == []
+        assert result.suppressed_count == 1
+
+    def test_directive_for_other_rule_does_not_silence(self):
+        source = ("import time\n"
+                  "NOW = time.time()  # reprolint: disable=SEC001\n")
+        result = lint_source(source)
+        assert rules_hit(result) == ["DET001"]
+
+
+class TestJsonOutput:
+    def test_schema(self):
+        result = lint_paths([fixture("det001_bad.py")])
+        payload = to_payload(result)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["tool"] == "reprolint"
+        assert payload["exit_code"] == 1
+        summary = payload["summary"]
+        assert summary["files_checked"] == 1
+        assert summary["finding_count"] == len(payload["findings"])
+        assert summary["by_rule"] == {"DET001": summary["finding_count"]}
+        for finding in payload["findings"]:
+            assert set(finding) == {"rule", "path", "line", "column",
+                                    "severity", "message"}
+            assert finding["line"] > 0 and finding["column"] > 0
+
+    def test_round_trips_through_json(self):
+        payload = to_payload(lint_paths([fixture("sec001_bad.py")]))
+        assert json.loads(json.dumps(payload)) == payload
+
+    def test_findings_sorted(self):
+        result = lint_paths([FIXTURES])
+        keys = [(finding.path, finding.line, finding.column)
+                for finding in result.findings]
+        assert keys == sorted(keys)
+
+
+class TestExitCodes:
+    def test_clean_is_zero(self):
+        assert lint_paths([fixture("det001_ok.py")]).exit_code() == 0
+
+    def test_findings_are_one(self):
+        assert lint_paths([fixture("det001_bad.py")]).exit_code() == 1
+
+    def test_syntax_error_is_two(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def f(:\n")
+        result = lint_paths([str(broken)])
+        assert result.exit_code() == 2
+        assert "syntax error" in result.errors[0].message
+
+
+class TestCli:
+    def test_clean_run(self, capsys, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, capsys):
+        assert main(["lint", fixture("det001_bad.py")]) == 1
+        output = capsys.readouterr().out
+        assert "DET001" in output
+        assert "det001_bad.py" in output
+
+    def test_json_format(self, capsys):
+        assert main(["lint", fixture("det001_bad.py"),
+                     "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["summary"]["finding_count"] > 0
+
+    def test_select(self, capsys):
+        assert main(["lint", fixture("det001_bad.py"),
+                     "--select", "SEC001"]) == 0
+
+    def test_unknown_rule_exit_two(self, capsys):
+        assert main(["lint", fixture("det001_bad.py"),
+                     "--select", "NOPE999"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exit_two(self, capsys):
+        assert main(["lint", "does/not/exist"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        output = capsys.readouterr().out
+        for rule_id in ("SEC001", "SEC002", "DET001", "DET002"):
+            assert rule_id in output
