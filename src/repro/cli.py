@@ -9,9 +9,15 @@ Subcommands:
 * ``overflow`` — print the Figure 13 transfer-queue analysis.
 * ``coresident`` — non-secure VM latency next to each secure design.
 * ``trace``    — generate a synthetic miss trace to a file.
+* ``audit-trace`` — replay runs with different address streams and check
+  that the adversary-visible trace is indistinguishable (Section III-G).
 * ``designs`` / ``workloads`` — list what is available.
 * ``lint``     — run reprolint, the repository's own static analyzer
   (obliviousness / constant-time / determinism invariants).
+
+``simulate --trace-out FILE`` additionally records every layer's events
+through a :class:`~repro.obs.tracer.CollectingTracer` and writes a
+Chrome trace-event JSON loadable in Perfetto (``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -55,10 +61,14 @@ def _print_result(result: RunResult, energy_pj: Optional[float]) -> None:
 
 
 def _run(design: DesignPoint, workload: str, channels: int,
-         trace_length: int, seed: int):
+         trace_length: int, seed: int, tracer=None):
+    from repro.obs.tracer import NULL_TRACER
+
     config = table2_config(design, channels=channels, seed=seed)
     result = run_simulation(config, workload, trace_length=trace_length,
-                            trace_seed=seed)
+                            trace_seed=seed,
+                            tracer=tracer if tracer is not None
+                            else NULL_TRACER)
     model = DramEnergyModel(config.power, config.timing,
                             config.organization,
                             config.cpu.cpu_cycles_per_mem_cycle)
@@ -67,19 +77,33 @@ def _run(design: DesignPoint, workload: str, channels: int,
 
 def cmd_simulate(args) -> int:
     """Handle ``repro simulate``."""
+    tracer = None
+    if args.trace_out:
+        from repro.obs.tracer import CollectingTracer
+
+        tracer = CollectingTracer()
     if args.trace_file:
+        from repro.obs.tracer import NULL_TRACER
         from repro.sim.system import run_trace_file
 
         config = table2_config(args.design, channels=args.channels,
                                seed=args.seed)
-        result = run_trace_file(config, args.trace_file, mlp=args.mlp)
+        result = run_trace_file(config, args.trace_file, mlp=args.mlp,
+                                tracer=tracer if tracer is not None
+                                else NULL_TRACER)
         model = DramEnergyModel(config.power, config.timing,
                                 config.organization,
                                 config.cpu.cpu_cycles_per_mem_cycle)
         energy = model.report(result).total_pj
     else:
         result, energy = _run(args.design, args.workload, args.channels,
-                              args.trace_length, args.seed)
+                              args.trace_length, args.seed, tracer=tracer)
+    if args.trace_out:
+        from repro.obs.chrome import write_chrome_trace
+
+        count = write_chrome_trace(args.trace_out, tracer.events)
+        print(f"wrote {count} trace events to {args.trace_out}",
+              file=sys.stderr)
     if args.json:
         import json
 
@@ -89,6 +113,39 @@ def cmd_simulate(args) -> int:
         return 0
     _print_result(result, energy)
     return 0
+
+
+def cmd_audit_trace(args) -> int:
+    """Handle ``repro audit-trace``; exit 0 only if the audit is sound.
+
+    Sound means every secure design's adversary trace is indistinguishable
+    across address streams *and* the negative control (the non-secure
+    baseline, plus an injected-leak protocol run when ``--inject-leak``)
+    is correctly flagged as distinguishable — proving the comparison has
+    teeth rather than vacuously passing.
+    """
+    from repro.obs.audit import (audit_address_streams,
+                                 audit_independent_protocol, run_full_audit)
+
+    results = run_full_audit(misses=args.misses, accesses=args.accesses,
+                             seed=args.seed)
+    if args.inject_leak:
+        stream_a, stream_b = audit_address_streams(args.accesses,
+                                                   seed=args.seed,
+                                                   span=1 << 10)
+        leak = audit_independent_protocol(stream_a, stream_b,
+                                          inject_leak=True)
+        leak.name = "negative-control:" + leak.name
+        results.append(leak)
+    sound = True
+    for result in results:
+        expected_fail = result.name.startswith("negative-control:")
+        ok = (not result.passed) if expected_fail else result.passed
+        sound = sound and ok
+        marker = "ok  " if ok else "BAD "
+        print(f"{marker} {result.describe()}")
+    print("audit sound" if sound else "audit UNSOUND", file=sys.stderr)
+    return 0 if sound else 1
 
 
 def cmd_compare(args) -> int:
@@ -239,6 +296,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="replay a saved trace instead of a profile")
     simulate.add_argument("--mlp", type=int, default=4,
                           help="miss window for --trace-file replays")
+    simulate.add_argument("--trace-out", default=None, metavar="FILE",
+                          help="write a Chrome trace-event JSON "
+                               "(load in Perfetto / chrome://tracing)")
     common(simulate)
     simulate.set_defaults(handler=cmd_simulate)
 
@@ -272,6 +332,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--length", type=int, default=10_000)
     trace.add_argument("--seed", type=int, default=2018)
     trace.set_defaults(handler=cmd_trace)
+
+    audit = subparsers.add_parser(
+        "audit-trace",
+        help="check adversary-trace indistinguishability across "
+             "address streams (the threat model, executed)")
+    audit.add_argument("--misses", type=int, default=12,
+                       help="misses per timing-tier run")
+    audit.add_argument("--accesses", type=int, default=48,
+                       help="accesses per functional-tier run")
+    audit.add_argument("--seed", type=int, default=2018)
+    audit.add_argument("--inject-leak", action="store_true",
+                       help="also run the LeakyLink fault injection and "
+                            "require the audit to catch it")
+    audit.set_defaults(handler=cmd_audit_trace)
 
     lint = subparsers.add_parser(
         "lint", help="run reprolint over source trees")

@@ -23,6 +23,12 @@ from repro.core.commands import SdimmCommand
 from repro.core.secure_buffer import LinkRecorder
 from repro.core.split import SplitProtocol, _ShadowEntry, _StashSlice
 from repro.core.transfer_queue import TransferQueue
+from repro.obs.tracer import (
+    CATEGORY_PROTOCOL,
+    NULL_TRACER,
+    StepClock,
+    Tracer,
+)
 from repro.oram.bucket import Block
 from repro.oram.path_oram import Op
 from repro.oram.posmap import PositionMap
@@ -37,7 +43,8 @@ class SplitGroup:
                  ways: int, blocks_per_bucket: int, block_bytes: int,
                  stash_capacity: int, transfer_queue_capacity: int,
                  drain_probability: float, rng: DeterministicRng,
-                 key: bytes, record_link: bool = False):
+                 key: bytes, record_link: bool = False,
+                 tracer: Tracer = NULL_TRACER):
         self.group_id = group_id
         self.groups = groups
         self._partition_bits = log2_exact(groups)
@@ -53,6 +60,8 @@ class SplitGroup:
             seed=rng.randint(0, 2**31),
             key=key + bytes([group_id]),
             record_link=record_link,
+            tracer=tracer,
+            trace_lane=f"group{group_id}",
         )
         self._local_leaf_bits = local_levels - 1
         self._global_leaf_count = (self.split.geometry.leaf_count * groups)
@@ -161,9 +170,12 @@ class IndepSplitProtocol:
                  drain_probability: float = 0.05,
                  seed: int = 2018,
                  key: bytes = b"indep-split-key!",
-                 record_link: bool = False):
+                 record_link: bool = False,
+                 tracer: Tracer = NULL_TRACER):
         rng = DeterministicRng(seed, "indep-split")
         self.block_bytes = block_bytes
+        self.tracer = tracer
+        self.clock = StepClock()
         self.groups: List[SplitGroup] = [
             SplitGroup(
                 group_id=index,
@@ -178,12 +190,14 @@ class IndepSplitProtocol:
                 rng=rng,
                 key=key,
                 record_link=record_link,
+                tracer=tracer,
             )
             for index in range(groups)
         ]
         leaf_count = self.groups[0].split.geometry.leaf_count * groups
         self.posmap = PositionMap(leaf_count, rng.child("posmap"))
-        self.link = LinkRecorder(enabled=record_link)
+        self.link = LinkRecorder(enabled=record_link, tracer=tracer,
+                                 lane="indep-split-link", clock=self.clock)
         self.accesses = 0
 
     # ------------------------------------------------------------------
@@ -204,12 +218,23 @@ class IndepSplitProtocol:
         self.accesses += 1
         old_leaf = self.posmap.lookup(address)
         owner = self.groups[0].owner_of(old_leaf)
+        traced = self.tracer.enabled
+        lane = "indep-split"
 
+        start = self.clock.now
         self.link.up(SdimmCommand.ACCESS, owner, self.block_bytes)
         outcome = self.groups[owner].access(address, old_leaf, op, data)
         self.posmap.set(address, outcome.new_global_leaf)
+        if traced:
+            self.tracer.span("ACCESS", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
+        start = self.clock.now
         self.link.down(SdimmCommand.FETCH_RESULT, owner, self.block_bytes)
+        if traced:
+            self.tracer.span("FETCH_RESULT", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
 
+        start = self.clock.now
         new_owner = self.groups[0].owner_of(outcome.new_global_leaf)
         for index, group in enumerate(self.groups):
             payload = (outcome.moved_block  # reprolint: disable=SEC002 -- every group gets an APPEND; real-vs-dummy is under the link encryption
@@ -217,4 +242,7 @@ class IndepSplitProtocol:
                        else None)
             self.link.up(SdimmCommand.APPEND, index, self.block_bytes)
             group.append(payload)
+        if traced:
+            self.tracer.span("APPEND", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
         return outcome.data

@@ -27,6 +27,12 @@ from typing import List, Optional
 from repro.core.commands import SdimmCommand
 from repro.core.secure_buffer import LinkRecorder
 from repro.core.transfer_queue import TransferQueue
+from repro.obs.tracer import (
+    CATEGORY_PROTOCOL,
+    NULL_TRACER,
+    StepClock,
+    Tracer,
+)
 from repro.oram.bucket import Block
 from repro.oram.path_oram import Op, PathOram
 from repro.oram.posmap import PositionMap
@@ -182,9 +188,12 @@ class IndependentProtocol:
                  seed: int = 2018,
                  record_link: bool = False,
                  record_trace: bool = False,
-                 encryption_key: Optional[bytes] = None):
+                 encryption_key: Optional[bytes] = None,
+                 tracer: Tracer = NULL_TRACER):
         rng = DeterministicRng(seed, "independent")
         self.block_bytes = block_bytes
+        self.tracer = tracer
+        self.clock = StepClock()
         self.sdimms: List[IndependentBuffer] = [
             IndependentBuffer(
                 sdimm_id=index,
@@ -204,7 +213,8 @@ class IndependentProtocol:
         global_leaf_count = (self.sdimms[0].oram.geometry.leaf_count *
                              sdimm_count)
         self.posmap = PositionMap(global_leaf_count, rng.child("posmap"))
-        self.link = LinkRecorder(enabled=record_link)
+        self.link = LinkRecorder(enabled=record_link, tracer=tracer,
+                                 lane="independent-link", clock=self.clock)
         self.accesses = 0
 
     # ------------------------------------------------------------------
@@ -217,21 +227,36 @@ class IndependentProtocol:
         self.accesses += 1
         old_leaf = self.posmap.lookup(address)
         owner = self.sdimms[0].owner_of(old_leaf)
+        traced = self.tracer.enabled
+        lane = "independent"
 
         # Step 1: ACCESS always carries one block (dummy for reads) so the
         # operation type is hidden.
+        start = self.clock.now
         self.link.up(SdimmCommand.ACCESS, owner, self.block_bytes)
         outcome = self.sdimms[owner].access(address, old_leaf, op, data)
         self.posmap.set(address, outcome.new_global_leaf)
+        if traced:
+            self.tracer.span("ACCESS", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
 
         # Step 5: PROBE until ready, then FETCH_RESULT.  The SDIMM always
         # returns one block (dummy only for a local-stay write).
+        start = self.clock.now
         self.link.up(SdimmCommand.PROBE, owner, 0)
+        if traced:
+            self.tracer.span("PROBE", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
+        start = self.clock.now
         self.link.up(SdimmCommand.FETCH_RESULT, owner, 0)
         self.link.down(SdimmCommand.FETCH_RESULT, owner, self.block_bytes)
+        if traced:
+            self.tracer.span("FETCH_RESULT", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
 
         # Step 6: one APPEND to every SDIMM; real block only at the new
         # owner (and only if the block actually migrated).
+        start = self.clock.now
         new_owner = self.sdimms[0].owner_of(outcome.new_global_leaf)
         for index, sdimm in enumerate(self.sdimms):
             payload = (outcome.moved_block  # reprolint: disable=SEC002 -- every SDIMM gets an APPEND; real-vs-dummy is under the link encryption
@@ -239,6 +264,9 @@ class IndependentProtocol:
                        else None)
             self.link.up(SdimmCommand.APPEND, index, self.block_bytes)
             sdimm.append(payload)
+        if traced:
+            self.tracer.span("APPEND", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
 
         return outcome.data
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.core.commands import SdimmCommand
+from repro.obs.tracer import CATEGORY_LINK, NULL_TRACER, StepClock, Tracer
 
 
 @dataclass(frozen=True)
@@ -36,22 +37,42 @@ class LinkEvent:
 
 
 class LinkRecorder:
-    """Accumulates link events for obliviousness analysis."""
+    """Accumulates link events for obliviousness analysis.
 
-    def __init__(self, enabled: bool = True):
+    When a :class:`~repro.obs.tracer.Tracer` is attached, every link event
+    is also mirrored into the trace as an instant on ``lane`` — the same
+    content-free view a logic analyzer sees (direction, command, size,
+    target), timestamped on the supplied logical ``clock``.
+    """
+
+    def __init__(self, enabled: bool = True, tracer: Tracer = NULL_TRACER,
+                 lane: str = "link", clock: Optional[StepClock] = None):
         self.enabled = enabled
         self.events: List[LinkEvent] = []
+        self.tracer = tracer
+        self.lane = lane
+        self.clock = clock if clock is not None else StepClock()
 
     def up(self, command: SdimmCommand, sdimm: int,
            payload_bytes: int) -> None:
         if self.enabled:
             self.events.append(LinkEvent("up", command, sdimm, payload_bytes))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                command.value if command is not None else "data",
+                CATEGORY_LINK, self.lane, self.clock.tick(),
+                direction="up", sdimm=sdimm, payload_bytes=payload_bytes)
 
     def down(self, command: Optional[SdimmCommand], sdimm: int,
              payload_bytes: int) -> None:
         if self.enabled:
             self.events.append(LinkEvent("down", command, sdimm,
                                          payload_bytes))
+        if self.tracer.enabled:
+            self.tracer.instant(
+                command.value if command is not None else "data",
+                CATEGORY_LINK, self.lane, self.clock.tick(),
+                direction="down", sdimm=sdimm, payload_bytes=payload_bytes)
 
     def shapes(self) -> List[Tuple[str, Optional[SdimmCommand], int]]:
         return [event.shape() for event in self.events]

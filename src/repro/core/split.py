@@ -34,6 +34,12 @@ from repro.core.commands import SdimmCommand
 from repro.core.secure_buffer import LinkRecorder
 from repro.crypto.ctr import CounterModeCipher
 from repro.crypto.mac import MacError, PmmacAuthenticator
+from repro.obs.tracer import (
+    CATEGORY_PROTOCOL,
+    NULL_TRACER,
+    StepClock,
+    Tracer,
+)
 from repro.oram.bucket import Block
 from repro.oram.posmap import PositionMap
 from repro.oram.path_oram import Op
@@ -276,8 +282,13 @@ class SplitProtocol:
                  stash_capacity: int = 200, seed: int = 2018,
                  key: bytes = b"split-protocol-key",
                  record_link: bool = False,
-                 record_trace: bool = False):
+                 record_trace: bool = False,
+                 tracer: Tracer = NULL_TRACER,
+                 trace_lane: str = "split"):
         self.geometry = TreeGeometry(levels)
+        self.tracer = tracer
+        self.trace_lane = trace_lane
+        self.clock = StepClock()
         self.ways = ways
         self.blocks_per_bucket = blocks_per_bucket
         self.block_bytes = block_bytes
@@ -300,7 +311,8 @@ class SplitProtocol:
         # this mirror catches even though each slice's own MAC verifies.
         self._expected_counters: Dict[int, int] = {}
         self.shadow: List[_ShadowEntry] = []
-        self.link = LinkRecorder(enabled=record_link)
+        self.link = LinkRecorder(enabled=record_link, tracer=tracer,
+                                 lane=f"{trace_lane}-link", clock=self.clock)
         self.accesses = 0
         self.stash_peak = 0
 
@@ -338,12 +350,14 @@ class SplitProtocol:
         path = self.geometry.path(old_leaf)
 
         # Step 1: FETCH_DATA to every buffer (command only on the channel).
+        start = self.clock.now
         for way, buffer in enumerate(self.buffers):
             self.link.up(SdimmCommand.FETCH_DATA, way, 0)
             buffer.fetch_data(old_leaf)
-        base_index = len(self.shadow)
+        self._phase_span("FETCH_DATA", start)
 
         # Step 2+3: metadata reads; merge slices and extend the shadow.
+        start = self.clock.now
         old_counters: Dict[int, int] = {}
         for bucket in path:
             metadata = self._merge_metadata(bucket)
@@ -355,6 +369,7 @@ class SplitProtocol:
                 else:
                     self.shadow.append(_ShadowEntry(tag,
                                                     metadata.leaves[slot]))
+        self._phase_span("METADATA", start)
 
         # Step 3b: find the requested block among the real tags.
         found_index = None
@@ -372,6 +387,7 @@ class SplitProtocol:
             self.shadow[found_index].leaf = new_leaf
 
         # Step 4: FETCH_STASH from every buffer; merge the data slices.
+        start = self.clock.now
         slices = []
         for way, buffer in enumerate(self.buffers):
             self.link.up(SdimmCommand.FETCH_STASH, way, 8)
@@ -379,6 +395,7 @@ class SplitProtocol:
             self.link.down(SdimmCommand.FETCH_STASH, way,
                            buffer.slice_bytes)
             slices.append(piece)
+        self._phase_span("FETCH_STASH", start)
         merged = merge_bit_slices(slices)
         result = merged
         if op is Op.WRITE:
@@ -389,9 +406,17 @@ class SplitProtocol:
             self.shadow[found_index].address = None
 
         # Step 5: plan eviction on the shadow, ship RECEIVE_LIST.
+        start = self.clock.now
         self._write_back(path, old_counters, found_index, merged)
+        self._phase_span("RECEIVE_LIST", start)
         self.stash_peak = max(self.stash_peak, len(self.shadow))
         return result
+
+    def _phase_span(self, name: str, start: int) -> None:
+        """Close one protocol-phase span over the logical link clock."""
+        if self.tracer.enabled:
+            self.tracer.span(name, CATEGORY_PROTOCOL, self.trace_lane,
+                             start, max(start + 1, self.clock.now))
 
     def dummy_access(self) -> None:
         """A structurally identical access serving no block (queue drains).
@@ -403,10 +428,13 @@ class SplitProtocol:
         leaf = self.rng.random_leaf(self.geometry.leaf_count)
         path = self.geometry.path(leaf)
         self.accesses += 1
+        start = self.clock.now
         for way, buffer in enumerate(self.buffers):
             self.link.up(SdimmCommand.FETCH_DATA, way, 0)
             buffer.fetch_data(leaf)
+        self._phase_span("FETCH_DATA", start)
         base_index = len(self.shadow)
+        start = self.clock.now
         old_counters: Dict[int, int] = {}
         for bucket in path:
             metadata = self._merge_metadata(bucket)
@@ -418,12 +446,17 @@ class SplitProtocol:
                 else:
                     self.shadow.append(_ShadowEntry(tag,
                                                     metadata.leaves[slot]))
+        self._phase_span("METADATA", start)
+        start = self.clock.now
         for way, buffer in enumerate(self.buffers):
             self.link.up(SdimmCommand.FETCH_STASH, way, 8)
             piece = buffer.fetch_stash(base_index, old_counters)
             self.link.down(SdimmCommand.FETCH_STASH, way,
                            buffer.slice_bytes)
+        self._phase_span("FETCH_STASH", start)
+        start = self.clock.now
         self._write_back(path, old_counters, -1, bytes(self.block_bytes))
+        self._phase_span("RECEIVE_LIST", start)
         self.stash_peak = max(self.stash_peak, len(self.shadow))
 
     # ------------------------------------------------------------------

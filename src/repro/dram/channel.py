@@ -19,6 +19,7 @@ from repro.dram.address import DecodedAddress
 from repro.dram.bank import ScaledTiming
 from repro.dram.commands import RowBufferOutcome
 from repro.dram.rank import Rank
+from repro.obs.tracer import CATEGORY_DRAM, NULL_TRACER, Tracer
 
 _request_ids = itertools.count()
 
@@ -53,8 +54,10 @@ class Channel:
 
     def __init__(self, timing: DramTiming, organization: DramOrganization,
                  scale: int = 2, refresh_enabled: bool = False,
-                 on_dimm: bool = False, name: str = "channel"):
+                 on_dimm: bool = False, name: str = "channel",
+                 tracer: Tracer = NULL_TRACER):
         self.name = name
+        self.tracer = tracer
         self.on_dimm = on_dimm
         self.timing = ScaledTiming(timing, scale)
         self.organization = organization
@@ -142,6 +145,12 @@ class Channel:
         self.counters.note_outcome(outcome)
         self.counters.busy_cycles += self.timing.tburst
         rank.note_activity(data_end)
+        if self.tracer.enabled:
+            self.tracer.span("burst", CATEGORY_DRAM, self.name,
+                             data_start, data_end, rank=address.rank,
+                             bank=address.bank, row=address.row,
+                             write=int(is_write), lines=1,
+                             outcome=outcome.value)
         return AccessTiming(cas_issue, data_start, data_end, outcome)
 
     def schedule_run(self, address: DecodedAddress, count: int,
@@ -208,6 +217,12 @@ class Channel:
             self.counters.row_hits += count - 1
         self.counters.busy_cycles += count * self.timing.tburst
         rank.note_activity(data_end)
+        if self.tracer.enabled:
+            self.tracer.span("burst", CATEGORY_DRAM, self.name,
+                             data_start, data_end, rank=address.rank,
+                             bank=address.bank, row=address.row,
+                             write=int(is_write), lines=count,
+                             outcome=outcome.value)
         return AccessTiming(cas_issue, data_start, data_end, outcome)
 
     def _bus_ready(self, rank_index: int) -> int:

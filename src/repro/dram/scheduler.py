@@ -13,14 +13,17 @@ from typing import List, Optional, Tuple
 
 from repro.config import SchedulerConfig
 from repro.dram.channel import AccessTiming, Channel, MemoryRequest
+from repro.obs.tracer import CATEGORY_DRAM, NULL_TRACER, Tracer
 
 
 class FrFcfsScheduler:
     """Request-level front door to one channel."""
 
-    def __init__(self, channel: Channel, config: Optional[SchedulerConfig] = None):
+    def __init__(self, channel: Channel, config: Optional[SchedulerConfig] = None,
+                 tracer: Tracer = NULL_TRACER):
         self.channel = channel
         self.config = config or SchedulerConfig()
+        self.tracer = tracer
         self.read_queue: List[MemoryRequest] = []
         self.write_queue: List[MemoryRequest] = []
         self._draining = False
@@ -32,6 +35,10 @@ class FrFcfsScheduler:
             self.write_queue.append(request)
         else:
             self.read_queue.append(request)
+        if self.tracer.enabled:
+            self.tracer.counter("queue_depth", CATEGORY_DRAM,
+                                self.channel.name, request.arrival_time,
+                                self.pending)
 
     @property
     def pending(self) -> int:
@@ -80,4 +87,13 @@ class FrFcfsScheduler:
         timing = self.channel.schedule_access(
             request.address, request.is_write, max(now, request.arrival_time))
         request.completion_time = timing.data_end
+        if self.tracer.enabled:
+            self.tracer.counter("queue_depth", CATEGORY_DRAM,
+                                self.channel.name, timing.cas_issue,
+                                self.pending)
+            self.tracer.instant("issue", CATEGORY_DRAM, self.channel.name,
+                                timing.cas_issue,
+                                write=int(request.is_write),
+                                outcome=timing.outcome.value,
+                                wait=timing.cas_issue - request.arrival_time)
         return request, timing

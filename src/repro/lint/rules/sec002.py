@@ -20,10 +20,13 @@ Heuristic taint analysis, per function:
 * sinks — ``if`` / ``while`` / ternary conditions and ``range()`` loop
   bounds mentioning a tainted name anywhere.
 
-Scoped to the protocol layers (``core/``, ``oram/stash.py``): those are
-the state machines whose timing an adversary can clock.  Trusted
-on-chip logic whose timing provably never reaches a bus may suppress
-with a justification.
+Scoped to the protocol layers (``core/``, ``oram/stash.py``) and the
+observability subsystem (``obs/``): the former are the state machines
+whose timing an adversary can clock; the latter exports traces, where a
+secret-tainted branch would mean event *presence* depends on secrets
+(and its payloads are separately screened by
+:func:`repro.obs.audit.scan_secret_args`).  Trusted on-chip logic whose
+timing provably never reaches a bus may suppress with a justification.
 """
 
 from __future__ import annotations
@@ -75,7 +78,7 @@ class SecretDependentBranch(Rule):
     rationale = ("control flow conditioned on leaf IDs, plaintext or other "
                  "secret state modulates observable timing; restructure to "
                  "a fixed shape or justify a suppression")
-    path_markers = ("core/", "stash",)
+    path_markers = ("core/", "stash", "obs/")
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         annotated = self._annotated_lines(context)

@@ -1,0 +1,39 @@
+"""repro.obs — tracing, metrics, trace export, and the adversary audit.
+
+Layered on the rest of the stack without touching its defaults: every
+instrumented component accepts a :class:`~repro.obs.tracer.Tracer` and
+defaults to :data:`~repro.obs.tracer.NULL_TRACER`, whose methods are
+no-ops (see ``docs/observability.md``).
+"""
+
+from repro.obs.audit import (AuditResult, LeakyLink, adversary_observations,
+                             audit_address_streams,
+                             audit_freecursive_protocol,
+                             audit_indep_split_protocol,
+                             audit_independent_protocol,
+                             audit_split_protocol, audit_timing_design,
+                             compare_observables, run_full_audit,
+                             scan_secret_args)
+from repro.obs.chrome import (chrome_trace_events, render_chrome_trace,
+                              write_chrome_trace)
+from repro.obs.metrics import (IDLE_PHASE, PHASE_PRIORITY, Counter, Gauge,
+                               Histogram, MetricsRegistry, phase_breakdown,
+                               summarize_phase_breakdown)
+from repro.obs.tracer import (CATEGORY_BUS, CATEGORY_CPU, CATEGORY_DRAM,
+                              CATEGORY_LINK, CATEGORY_PROTOCOL,
+                              CATEGORY_STASH, NULL_TRACER, CollectingTracer,
+                              StepClock, TraceEvent, Tracer, merge_events)
+
+__all__ = [
+    "AuditResult", "LeakyLink", "adversary_observations",
+    "audit_address_streams", "audit_freecursive_protocol",
+    "audit_indep_split_protocol", "audit_independent_protocol",
+    "audit_split_protocol", "audit_timing_design", "compare_observables",
+    "run_full_audit", "scan_secret_args",
+    "chrome_trace_events", "render_chrome_trace", "write_chrome_trace",
+    "IDLE_PHASE", "PHASE_PRIORITY", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "phase_breakdown", "summarize_phase_breakdown",
+    "CATEGORY_BUS", "CATEGORY_CPU", "CATEGORY_DRAM", "CATEGORY_LINK",
+    "CATEGORY_PROTOCOL", "CATEGORY_STASH", "NULL_TRACER",
+    "CollectingTracer", "StepClock", "TraceEvent", "Tracer", "merge_events",
+]

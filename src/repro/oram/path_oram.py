@@ -47,7 +47,9 @@ class PathOram:
                  stash_capacity: int, rng: DeterministicRng,
                  store=None, record_trace: bool = False,
                  background_eviction: bool = True,
-                 new_block_fill: int = 0):
+                 new_block_fill: int = 0,
+                 tracer=None, trace_lane: str = "stash"):
+        from repro.obs.tracer import NULL_TRACER
         from repro.oram.integrity import PlainBucketStore
 
         self.new_block_fill = new_block_fill
@@ -56,7 +58,10 @@ class PathOram:
         self.block_bytes = block_bytes
         self.rng = rng
         self.posmap = PositionMap(self.geometry.leaf_count, rng.child("posmap"))
-        self.stash = Stash(stash_capacity)
+        self.stash = Stash(stash_capacity,
+                           tracer=tracer if tracer is not None
+                           else NULL_TRACER,
+                           lane=trace_lane)
         self.store = store if store is not None else PlainBucketStore(
             self.geometry.bucket_count, blocks_per_bucket, block_bytes)
         self.record_trace = record_trace

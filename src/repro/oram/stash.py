@@ -9,19 +9,33 @@ stash small with overwhelming probability for Z >= 4.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.obs.tracer import CATEGORY_STASH, NULL_TRACER, StepClock, Tracer
 from repro.oram.bucket import Block
 from repro.oram.tree import TreeGeometry
 
 
 class Stash:
-    """Address-indexed block storage with greedy eviction planning."""
+    """Address-indexed block storage with greedy eviction planning.
 
-    def __init__(self, capacity: int):
+    With a tracer attached, every occupancy change is sampled as a
+    ``stash_occupancy`` counter on ``lane``, yielding the occupancy
+    timeline the paper's stash-size argument (Section II-C) is about.
+    """
+
+    def __init__(self, capacity: int, tracer: Tracer = NULL_TRACER,
+                 lane: str = "stash", clock: Optional[StepClock] = None):
         self.capacity = capacity
         self._blocks: Dict[int, Block] = {}
         self.peak_occupancy = 0
+        self.tracer = tracer
+        self.lane = lane
+        self.clock = clock if clock is not None else StepClock()
+
+    def _sample(self) -> None:
+        self.tracer.counter("stash_occupancy", CATEGORY_STASH, self.lane,
+                            self.clock.tick(), len(self._blocks))
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -36,9 +50,14 @@ class Stash:
         """Insert or replace a block (same address replaces in place)."""
         self._blocks[block.address] = block
         self.peak_occupancy = max(self.peak_occupancy, len(self._blocks))
+        if self.tracer.enabled:
+            self._sample()
 
     def remove(self, address: int) -> Block:
-        return self._blocks.pop(address)
+        block = self._blocks.pop(address)
+        if self.tracer.enabled:
+            self._sample()
+        return block
 
     def addresses(self) -> List[int]:
         return list(self._blocks)
@@ -75,4 +94,6 @@ class Stash:
                 placement[level] = chosen
                 for block in chosen:
                     del self._blocks[block.address]
+        if self.tracer.enabled and placement:
+            self._sample()
         return placement

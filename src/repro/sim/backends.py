@@ -31,6 +31,7 @@ from repro.core.lowpower import RankPowerManager
 from repro.dram.address import AddressMapper
 from repro.dram.channel import Channel, MemoryRequest
 from repro.dram.scheduler import FrFcfsScheduler
+from repro.obs.tracer import (CATEGORY_PROTOCOL, NULL_TRACER, Tracer)
 from repro.oram.layout import LowPowerLayout, TreeLayout
 from repro.oram.plb import PlbFrontend
 from repro.oram.tree import TreeGeometry
@@ -63,17 +64,20 @@ class BackendCounters:
 class NonSecureBackend:
     """Conventional DRAM behind FR-FCFS schedulers (one per channel)."""
 
-    def __init__(self, config: SystemConfig, events: EventQueue):
+    def __init__(self, config: SystemConfig, events: EventQueue,
+                 tracer: Tracer = NULL_TRACER):
         scale = config.cpu.cpu_cycles_per_mem_cycle
         self.config = config
         self.events = events
+        self.tracer = tracer
         self.channels = [
             Channel(config.timing, config.organization, scale=scale,
                     refresh_enabled=config.refresh_enabled,
-                    name=f"main{index}")
+                    name=f"main{index}", tracer=tracer)
             for index in range(config.channels)
         ]
-        self.schedulers = [FrFcfsScheduler(channel, config.scheduler)
+        self.schedulers = [FrFcfsScheduler(channel, config.scheduler,
+                                           tracer=tracer)
                            for channel in self.channels]
         self._issuing = [False] * config.channels
         self._callbacks: Dict[int, CompletionCallback] = {}
@@ -135,14 +139,16 @@ class NonSecureBackend:
 class FreecursiveBackend:
     """Serial Freecursive ORAM backend striped over the main channels."""
 
-    def __init__(self, config: SystemConfig, events: EventQueue):
+    def __init__(self, config: SystemConfig, events: EventQueue,
+                 tracer: Tracer = NULL_TRACER):
         scale = config.cpu.cpu_cycles_per_mem_cycle
         self.config = config
         self.events = events
+        self.tracer = tracer
         self.channels = [
             Channel(config.timing, config.organization, scale=scale,
                     refresh_enabled=config.refresh_enabled,
-                    name=f"main{index}")
+                    name=f"main{index}", tracer=tracer)
             for index in range(config.channels)
         ]
         self.geometry = TreeGeometry(config.oram.levels)
@@ -186,6 +192,11 @@ class FreecursiveBackend:
             timing = self.channels[channel_index].schedule_run(
                 address, count, True, write_start)
             write_end = max(write_end, timing.data_end)
+        if self.tracer.enabled:
+            self.tracer.span("PATH_READ", CATEGORY_PROTOCOL,
+                             "oram-backend", start, read_end)
+            self.tracer.span("PATH_WRITE", CATEGORY_PROTOCOL,
+                             "oram-backend", write_start, write_end)
         return write_end + self.crypto
 
     def finalize(self, end_cycle: int) -> None:
@@ -206,13 +217,15 @@ class SdimmDevice:
 
     def __init__(self, config: SystemConfig, events: EventQueue, name: str,
                  local_levels: int, skip_levels: int,
-                 rng: DeterministicRng):
+                 rng: DeterministicRng, tracer: Tracer = NULL_TRACER):
         scale = config.cpu.cpu_cycles_per_mem_cycle
         organization = dataclasses.replace(config.organization,
                                            dimms_per_channel=1)
+        self.name = name
+        self.tracer = tracer
         self.channel = Channel(config.timing, organization, scale=scale,
                                refresh_enabled=config.refresh_enabled,
-                               on_dimm=True, name=name)
+                               on_dimm=True, name=name, tracer=tracer)
         self.geometry = TreeGeometry(local_levels)
         self.low_power = config.sdimm.low_power_ranks
         if self.low_power:
@@ -283,6 +296,11 @@ class SdimmDevice:
             return start + 2 * self.crypto
         read_end = self.schedule_runs(runs, False, start)
         write_end = self.schedule_runs(runs, True, read_end + self.crypto)
+        if self.tracer.enabled:
+            self.tracer.span("PATH_READ", CATEGORY_PROTOCOL, self.name,
+                             start, read_end)
+            self.tracer.span("PATH_WRITE", CATEGORY_PROTOCOL, self.name,
+                             read_end + self.crypto, write_end)
         return write_end + self.crypto
 
     @property
@@ -321,10 +339,12 @@ class SdimmDevice:
 class IndependentBackend:
     """One subtree per SDIMM; requests fan out, shuffles stay local."""
 
-    def __init__(self, config: SystemConfig, events: EventQueue):
+    def __init__(self, config: SystemConfig, events: EventQueue,
+                 tracer: Tracer = NULL_TRACER):
         scale = config.cpu.cpu_cycles_per_mem_cycle
         self.config = config
         self.events = events
+        self.tracer = tracer
         count = config.sdimm_count
         partition_bits = log2_exact(count)
         local_levels = config.oram.levels - partition_bits
@@ -332,11 +352,11 @@ class IndependentBackend:
         rng = DeterministicRng(config.seed, "independent-backend")
         self.devices = [
             SdimmDevice(config, events, f"sdimm{index}", local_levels, skip,
-                        rng.child(f"dev{index}"))
+                        rng.child(f"dev{index}"), tracer=tracer)
             for index in range(count)
         ]
         burst = config.timing.tburst * scale
-        self.buses = [LinkBus(burst, name=f"bus{index}")
+        self.buses = [LinkBus(burst, name=f"bus{index}", tracer=tracer)
                       for index in range(config.channels)]
         self._bus_of = [index // config.organization.dimms_per_channel
                         for index in range(count)]
@@ -368,8 +388,11 @@ class IndependentBackend:
         bus = self.buses[self._bus_of[owner]]
 
         # Step 1: ACCESS + one block of data on the owner's channel.
-        _, request_end = bus.reserve_block(now)
+        access_start, request_end = bus.reserve_block(now)
         arrival = request_end + self.crypto
+        if self.tracer.enabled:
+            self.tracer.span("ACCESS", CATEGORY_PROTOCOL, bus.name,
+                             access_start, request_end)
 
         def done(ready: int) -> None:
             # Step 5: PROBE polling finds the response, FETCH_RESULT
@@ -377,16 +400,29 @@ class IndependentBackend:
             detected = self._probe(request_end, ready, bus)
             _, response_end = bus.reserve_block(detected)
             self.counters.result_blocks += 1
+            if self.tracer.enabled:
+                self.tracer.span("PROBE", CATEGORY_PROTOCOL, bus.name,
+                                 ready, detected)
+                self.tracer.span("FETCH_RESULT", CATEGORY_PROTOCOL,
+                                 bus.name, detected, response_end)
             # Step 6: APPEND one block to every SDIMM (dummies included).
             new_owner = self.rng.randrange(len(self.devices))
             for index, target in enumerate(self.devices):
                 target_bus = self.buses[self._bus_of[index]]
-                _, append_end = target_bus.reserve_block(response_end)
+                append_start, append_end = \
+                    target_bus.reserve_block(response_end)
                 self.counters.append_messages += 1
+                if self.tracer.enabled:
+                    self.tracer.span("APPEND", CATEGORY_PROTOCOL,
+                                     target_bus.name, append_start,
+                                     append_end)
                 migrated = index == new_owner and new_owner != owner
                 if migrated and self.rng.bernoulli(self.drain_probability):
                     # queue drain: the receiver spends a dummy access
                     self.counters.drain_accesses += 1
+                    if self.tracer.enabled:
+                        self.tracer.instant("drain", CATEGORY_PROTOCOL,
+                                            target.name, append_end)
                     target.work.enqueue(append_end,
                                         target.perform_path_access)
             self._next_op(remaining - 1, response_end + self.crypto,
@@ -447,8 +483,10 @@ class SplitGroupDevice:
 
     def __init__(self, config: SystemConfig, events: EventQueue,
                  members: List[SdimmDevice], member_buses: List[LinkBus],
-                 crypto: int, name: str):
+                 crypto: int, name: str, tracer: Tracer = NULL_TRACER):
         self.config = config
+        self.name = name
+        self.tracer = tracer
         self.members = members
         self.member_buses = member_buses
         self.ways = len(members)
@@ -504,7 +542,20 @@ class SplitGroupDevice:
         for way, member in enumerate(self.members):
             share = SdimmDevice.slice_runs(runs, way, self.ways)
             write_ends.append(member.schedule_runs(share, True, list_end))
-        return max(write_ends)
+        write_end = max(write_ends)
+        if self.tracer.enabled:
+            lane = self.name
+            self.tracer.span("FETCH_DATA", CATEGORY_PROTOCOL, lane,
+                             start, max(read_ends))
+            self.tracer.span("METADATA", CATEGORY_PROTOCOL, lane,
+                             start, meta_end)
+            self.tracer.span("FETCH_STASH", CATEGORY_PROTOCOL, lane,
+                             merged, stash_end)
+            self.tracer.span("RECEIVE_LIST", CATEGORY_PROTOCOL, lane,
+                             merged, list_end)
+            self.tracer.span("PATH_WRITE", CATEGORY_PROTOCOL, lane,
+                             list_end, write_end)
+        return write_end
 
     @property
     def last_data_ready(self) -> int:
@@ -514,27 +565,29 @@ class SplitGroupDevice:
 class SplitBackend:
     """All SDIMMs serve each access together (SPLIT-2 / SPLIT-4)."""
 
-    def __init__(self, config: SystemConfig, events: EventQueue):
+    def __init__(self, config: SystemConfig, events: EventQueue,
+                 tracer: Tracer = NULL_TRACER):
         scale = config.cpu.cpu_cycles_per_mem_cycle
         self.config = config
         self.events = events
+        self.tracer = tracer
         count = config.sdimm_count
         skip = config.effective_cached_levels
         rng = DeterministicRng(config.seed, "split-backend")
         devices = [
             SdimmDevice(config, events, f"sdimm{index}", config.oram.levels,
-                        skip, rng.child(f"dev{index}"))
+                        skip, rng.child(f"dev{index}"), tracer=tracer)
             for index in range(count)
         ]
         burst = config.timing.tburst * scale
-        self.buses = [LinkBus(burst, name=f"bus{index}")
+        self.buses = [LinkBus(burst, name=f"bus{index}", tracer=tracer)
                       for index in range(config.channels)]
         member_buses = [self.buses[index //
                                    config.organization.dimms_per_channel]
                         for index in range(count)]
         self.group = SplitGroupDevice(config, events, devices, member_buses,
                                       config.oram.crypto_latency_cycles,
-                                      "split-group")
+                                      "split-group", tracer=tracer)
         self.devices = devices
         self.frontend = PlbFrontend(config.oram)
         self.channels = [device.channel for device in devices]
@@ -575,10 +628,12 @@ class SplitBackend:
 class IndepSplitBackend:
     """Independent groups of split pairs (Figure 7e)."""
 
-    def __init__(self, config: SystemConfig, events: EventQueue):
+    def __init__(self, config: SystemConfig, events: EventQueue,
+                 tracer: Tracer = NULL_TRACER):
         scale = config.cpu.cpu_cycles_per_mem_cycle
         self.config = config
         self.events = events
+        self.tracer = tracer
         per_channel = config.organization.dimms_per_channel
         group_count = config.channels
         partition_bits = log2_exact(group_count)
@@ -586,7 +641,7 @@ class IndepSplitBackend:
         skip = max(0, config.effective_cached_levels - partition_bits)
         rng = DeterministicRng(config.seed, "indep-split-backend")
         burst = config.timing.tburst * scale
-        self.buses = [LinkBus(burst, name=f"bus{index}")
+        self.buses = [LinkBus(burst, name=f"bus{index}", tracer=tracer)
                       for index in range(config.channels)]
         self.groups: List[SplitGroupDevice] = []
         self.devices: List[SdimmDevice] = []
@@ -595,7 +650,8 @@ class IndepSplitBackend:
                 SdimmDevice(config, events,
                             f"sdimm{group_index * per_channel + member}",
                             local_levels, skip,
-                            rng.child(f"dev{group_index}-{member}"))
+                            rng.child(f"dev{group_index}-{member}"),
+                            tracer=tracer)
                 for member in range(per_channel)
             ]
             self.devices.extend(members)
@@ -603,7 +659,7 @@ class IndepSplitBackend:
             self.groups.append(SplitGroupDevice(
                 config, events, members, member_buses,
                 config.oram.crypto_latency_cycles,
-                f"split-group{group_index}"))
+                f"split-group{group_index}", tracer=tracer))
         self.frontend = PlbFrontend(config.oram)
         self.rng = rng.child("route")
         self.drain_probability = config.sdimm.drain_probability
@@ -628,19 +684,34 @@ class IndepSplitBackend:
         owner = self.rng.randrange(len(self.groups))
         group = self.groups[owner]
         bus = self.buses[owner]
-        _, request_end = bus.reserve_block(now)
+        access_start, request_end = bus.reserve_block(now)
         arrival = request_end + self.crypto
+        if self.tracer.enabled:
+            self.tracer.span("ACCESS", CATEGORY_PROTOCOL, bus.name,
+                             access_start, request_end)
 
         def done(_finish: int) -> None:
-            _, response_end = bus.reserve_block(group.last_data_ready)
+            result_start, response_end = \
+                bus.reserve_block(group.last_data_ready)
             self.counters.result_blocks += 1
+            if self.tracer.enabled:
+                self.tracer.span("FETCH_RESULT", CATEGORY_PROTOCOL,
+                                 bus.name, result_start, response_end)
             new_owner = self.rng.randrange(len(self.groups))
             for index, target in enumerate(self.groups):
-                _, append_end = self.buses[index].reserve_block(response_end)
+                append_start, append_end = \
+                    self.buses[index].reserve_block(response_end)
                 self.counters.append_messages += 1
+                if self.tracer.enabled:
+                    self.tracer.span("APPEND", CATEGORY_PROTOCOL,
+                                     self.buses[index].name, append_start,
+                                     append_end)
                 migrated = index == new_owner and new_owner != owner
                 if migrated and self.rng.bernoulli(self.drain_probability):
                     self.counters.drain_accesses += 1
+                    if self.tracer.enabled:
+                        self.tracer.instant("drain", CATEGORY_PROTOCOL,
+                                            target.name, append_end)
                     target.work.enqueue(append_end,
                                         target.perform_split_access)
             self._next_op(remaining - 1, response_end + self.crypto,

@@ -17,15 +17,18 @@ from __future__ import annotations
 import bisect
 from typing import List, Tuple
 
+from repro.obs.tracer import CATEGORY_BUS, NULL_TRACER, Tracer
+
 
 class LinkBus:
     """One DDR channel's data bus as seen by the SDIMM protocols."""
 
     def __init__(self, burst_cycles: int, command_cycles: int = 1,
-                 name: str = "bus"):
+                 name: str = "bus", tracer: Tracer = NULL_TRACER):
         if burst_cycles < 1:
             raise ValueError("burst must take at least one cycle")
         self.name = name
+        self.tracer = tracer
         self.burst_cycles = burst_cycles
         self.command_cycles = command_cycles
         self._busy: List[Tuple[int, int]] = []   # sorted disjoint intervals
@@ -40,8 +43,12 @@ class LinkBus:
     def reserve_block(self, earliest: int) -> Tuple[int, int]:
         """Transfer one 64 B block (plus its command); returns (start, end)."""
         self.block_transfers += 1
-        return self._reserve(earliest,
-                             self.burst_cycles + self.command_cycles)
+        start, end = self._reserve(earliest,
+                                   self.burst_cycles + self.command_cycles)
+        if self.tracer.enabled:
+            self.tracer.span("xfer_block", CATEGORY_BUS, self.name,
+                             start, end)
+        return start, end
 
     def reserve_lines(self, earliest: int, count: int) -> Tuple[int, int]:
         """Transfer ``count`` cache-line-sized bursts back to back."""
@@ -50,13 +57,20 @@ class LinkBus:
         if count == 0:
             return earliest, earliest
         self.line_transfers += count
-        return self._reserve(earliest, count * self.burst_cycles)
+        start, end = self._reserve(earliest, count * self.burst_cycles)
+        if self.tracer.enabled:
+            self.tracer.span("xfer_lines", CATEGORY_BUS, self.name,
+                             start, end, lines=count)
+        return start, end
 
     def command_slot(self, earliest: int) -> int:
         """A short command (PROBE and friends) on the command bus."""
         self.command_slots += 1
         # command/address wires are separate from data; no data-bus time
-        return max(earliest, 0)
+        slot = max(earliest, 0)
+        if self.tracer.enabled:
+            self.tracer.instant("command", CATEGORY_BUS, self.name, slot)
+        return slot
 
     def advance(self, now: int) -> None:
         """Tell the bus simulation time reached ``now``.

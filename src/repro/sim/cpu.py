@@ -19,8 +19,11 @@ from typing import Iterable, Iterator, Optional
 
 from repro.cache.cache import SetAssociativeCache
 from repro.config import SystemConfig
+from repro.obs.metrics import phase_breakdown
+from repro.obs.tracer import CATEGORY_CPU, NULL_TRACER, Tracer
 from repro.sim.events import EventQueue
 from repro.sim.stats import LatencyStats, RunResult
+from repro.utils.rng import DeterministicRng
 from repro.workloads.trace import TraceRecord
 
 
@@ -47,12 +50,14 @@ class SimulationDriver:
 
     def __init__(self, config: SystemConfig, backend, events: EventQueue,
                  mlp: int, workload_name: str = "workload",
-                 window_policy: str = "in-order"):
+                 window_policy: str = "in-order",
+                 tracer: Tracer = NULL_TRACER):
         if window_policy not in ("in-order", "out-of-order"):
             raise ValueError(f"unknown window policy {window_policy!r}")
         self.config = config
         self.backend = backend
         self.events = events
+        self.tracer = tracer
         self.mlp = max(1, mlp)
         self.window_policy = window_policy
         self.workload_name = workload_name
@@ -72,7 +77,8 @@ class SimulationDriver:
         self._accessorams_at_window = 0
         self._measured_misses = 0
         self._measured_hits = 0
-        self._latency = LatencyStats()
+        self._latency = LatencyStats(
+            sample_rng=DeterministicRng(config.seed, "latency-reservoir"))
         self._final_cycle = 0
 
     # ------------------------------------------------------------------
@@ -146,6 +152,10 @@ class SimulationDriver:
         if slot.measured:
             self._measured_misses += 1
             self._latency.record(max(0, slot.completion - slot.issue_cycle))
+        if self.tracer.enabled:
+            self.tracer.span("miss", CATEGORY_CPU, "cpu", slot.issue_cycle,
+                             max(slot.issue_cycle, slot.completion),
+                             measured=int(slot.measured))
         if self.window_policy == "in-order":
             # commit order: the core cannot run past an unretired miss
             self._cpu_clock = max(self._cpu_clock, slot.completion)
@@ -165,6 +175,13 @@ class SimulationDriver:
     def _build_result(self, end: int) -> RunResult:
         execution = end - self._window_start_cycle
         total = self._measured_hits + self._measured_misses
+        phases = {}
+        if self.tracer.enabled:
+            # Exclusive attribution of every measured-window cycle to the
+            # highest-priority active protocol phase (or idle): the sum
+            # equals execution_cycles by construction.
+            phases = phase_breakdown(getattr(self.tracer, "events", ()),
+                                     self._window_start_cycle, end)
         return RunResult(
             design=self.config.design.value,
             workload=self.workload_name,
@@ -186,6 +203,7 @@ class SimulationDriver:
             probe_commands=self.backend.counters.probe_commands,
             drain_accesses=self.backend.counters.drain_accesses,
             rank_residencies=self._residencies(),
+            phase_cycles=phases,
         )
 
     def _residencies(self):

@@ -2,19 +2,30 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
 class LatencyStats:
-    """Streaming latency accumulator (per-miss service latency)."""
+    """Streaming latency accumulator (per-miss service latency).
+
+    Holds at most ``sample_cap`` samples via reservoir sampling (Vitter's
+    Algorithm R), so percentile estimates stay unbiased over the whole
+    run instead of reflecting only the warm-up-adjacent prefix.  The
+    reservoir draws from ``sample_rng`` — a caller-provided seeded stream
+    (DET001: no ambient entropy) — and falls back to plain first-N
+    capping when no RNG is supplied, which keeps sub-cap runs exact
+    either way.
+    """
 
     count: int = 0
     total: int = 0
     maximum: int = 0
     samples: List[int] = field(default_factory=list)
     sample_cap: int = 100_000
+    sample_rng: Optional[object] = None   # DeterministicRng or None
 
     def record(self, latency: int) -> None:
         self.count += 1
@@ -22,17 +33,31 @@ class LatencyStats:
         self.maximum = max(self.maximum, latency)
         if len(self.samples) < self.sample_cap:
             self.samples.append(latency)
+        elif self.sample_rng is not None:
+            # Algorithm R: keep each of the n seen values with P = cap/n.
+            slot = self.sample_rng.randrange(self.count)
+            if slot < self.sample_cap:
+                self.samples[slot] = latency
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, fraction: float) -> int:
+        """Nearest-rank percentile: the ceil(fraction * n)-th smallest.
+
+        The textbook nearest-rank definition — ``int(fraction * n)`` as an
+        index overshoots by one rank for every non-boundary fraction (for
+        three samples it reports the *second* smallest as p50's neighbour
+        p34, and the maximum as p67).
+        """
         if not self.samples:
             return 0
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be within [0, 1]")
         ordered = sorted(self.samples)
-        index = min(len(ordered) - 1, int(fraction * len(ordered)))
-        return ordered[index]
+        rank = math.ceil(fraction * len(ordered))
+        return ordered[max(0, rank - 1)]
 
 
 @dataclass
@@ -56,6 +81,9 @@ class RunResult:
     drain_accesses: int
     #: rank state residency per channel for the energy model
     rank_residencies: List[Dict[str, int]] = field(default_factory=list)
+    #: exclusive per-phase cycle attribution of the measured window
+    #: (repro.obs.metrics.phase_breakdown); empty without a tracer
+    phase_cycles: Dict[str, int] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -96,6 +124,7 @@ class RunResult:
             "probe_commands": self.probe_commands,
             "drain_accesses": self.drain_accesses,
             "channel_counters": self.channel_counters,
+            "phase_cycles": dict(sorted(self.phase_cycles.items())),
         }
 
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.config import DesignPoint, SystemConfig
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sim.backends import BACKEND_CLASSES
 from repro.sim.cpu import SimulationDriver
 from repro.sim.events import EventQueue
@@ -18,14 +19,15 @@ from repro.workloads.spec import WorkloadProfile, get_profile
 from repro.workloads.synthetic import iterate_trace
 
 
-def build_backend(config: SystemConfig, events: Optional[EventQueue] = None):
+def build_backend(config: SystemConfig, events: Optional[EventQueue] = None,
+                  tracer: Tracer = NULL_TRACER):
     """Instantiate the memory backend for a validated configuration."""
     config.validate()
     backend_class = BACKEND_CLASSES.get(config.design)
     if backend_class is None:
         raise ValueError(f"no backend for design {config.design}")
     return backend_class(config, events if events is not None
-                         else EventQueue())
+                         else EventQueue(), tracer=tracer)
 
 
 def run_simulation(config: SystemConfig,
@@ -33,7 +35,8 @@ def run_simulation(config: SystemConfig,
                    trace_length: int = 20_000,
                    warmup_records: Optional[int] = None,
                    trace_seed: int = 2018,
-                   window_policy: str = "in-order") -> RunResult:
+                   window_policy: str = "in-order",
+                   tracer: Tracer = NULL_TRACER) -> RunResult:
     """Run one (design, workload) pair and return its measurements.
 
     ``workload`` is a profile name from :data:`repro.workloads.SPEC_PROFILES`
@@ -53,17 +56,19 @@ def run_simulation(config: SystemConfig,
         raise ValueError("warm-up must leave a measurement window")
 
     events = EventQueue()
-    backend = build_backend(config, events)
+    backend = build_backend(config, events, tracer=tracer)
     driver = SimulationDriver(config, backend, events, mlp=profile.mlp,
                               workload_name=profile.name,
-                              window_policy=window_policy)
+                              window_policy=window_policy,
+                              tracer=tracer)
     trace = iterate_trace(profile, trace_length, seed=trace_seed)
     return driver.run(trace, warmup_records=warmup_records)
 
 
 def run_trace_file(config: SystemConfig, path: str, mlp: int = 4,
                    warmup_records: int = 0,
-                   window_policy: str = "in-order") -> RunResult:
+                   window_policy: str = "in-order",
+                   tracer: Tracer = NULL_TRACER) -> RunResult:
     """Run a trace previously saved with
     :func:`repro.workloads.trace.save_trace` (or captured elsewhere in the
     same format) through any design point."""
@@ -73,10 +78,11 @@ def run_trace_file(config: SystemConfig, path: str, mlp: int = 4,
     if warmup_records >= len(records):
         raise ValueError("warm-up must leave a measurement window")
     events = EventQueue()
-    backend = build_backend(config, events)
+    backend = build_backend(config, events, tracer=tracer)
     driver = SimulationDriver(config, backend, events, mlp=mlp,
                               workload_name=path,
-                              window_policy=window_policy)
+                              window_policy=window_policy,
+                              tracer=tracer)
     return driver.run(records, warmup_records=warmup_records)
 
 

@@ -30,7 +30,19 @@ class TestSourceTreeClean:
         # Guard against the self-check silently passing because discovery
         # broke: the tree has dozens of modules, all of which must parse.
         result = lint_paths([SRC])
-        assert result.files_checked >= 70
+        assert result.files_checked >= 75
+
+    def test_obs_subsystem_is_covered(self):
+        # The observability tree must lint clean on its own — and SEC002
+        # must actually consider it in scope, so a secret-tainted branch
+        # in an exporter (event presence keyed on a leaf ID) is caught.
+        obs = os.path.join(SRC, "obs")
+        result = lint_paths([obs])
+        assert result.files_checked >= 5
+        assert result.findings == []
+        from repro.lint.rules.sec002 import SecretDependentBranch
+        assert any("obs" in marker
+                   for marker in SecretDependentBranch.path_markers)
 
     def test_suppressions_stay_bounded(self):
         # Every suppression is a recorded debt with a justification; a

@@ -1,0 +1,125 @@
+"""The tracer core: null-tracer zero overhead, collection, clocks."""
+
+import pytest
+
+from repro.core.independent import IndependentProtocol
+from repro.core.split import SplitProtocol
+from repro.obs.tracer import (CATEGORY_LINK, CATEGORY_PROTOCOL,
+                              CATEGORY_STASH, NULL_TRACER, CollectingTracer,
+                              StepClock, TraceEvent, Tracer, merge_events)
+from repro.oram.path_oram import Op, PathOram
+from repro.oram.stash import Stash
+from repro.oram.bucket import Block
+from repro.utils.rng import DeterministicRng
+
+
+class TestNullTracer:
+    def test_disabled_by_default(self):
+        assert NULL_TRACER.enabled is False
+        assert Tracer.enabled is False
+
+    def test_methods_are_noops(self):
+        NULL_TRACER.span("x", "c", "l", 0, 5)
+        NULL_TRACER.instant("x", "c", "l", 0)
+        NULL_TRACER.counter("x", "c", "l", 0, 1)
+
+    def test_protocol_clock_untouched_without_tracer(self):
+        # The zero-overhead contract: with the null tracer, no logical
+        # clock advances and no event is ever materialized.
+        protocol = IndependentProtocol(6, 2)
+        protocol.read(3)
+        assert protocol.clock.now == 0
+
+    def test_stash_emits_nothing_without_tracer(self):
+        stash = Stash(8)
+        stash.add(Block(1, 0, b""))
+        stash.remove(1)
+        assert stash.clock.now == 0
+
+
+class TestCollectingTracer:
+    def test_span_records_interval(self):
+        tracer = CollectingTracer()
+        tracer.span("work", "cat", "lane", 10, 25, extra=1)
+        (event,) = tracer.events
+        assert (event.kind, event.start, event.duration) == ("span", 10, 15)
+        assert event.end == 25
+        assert event.args == {"extra": 1}
+
+    def test_span_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            CollectingTracer().span("bad", "cat", "lane", 10, 5)
+
+    def test_selectors(self):
+        tracer = CollectingTracer()
+        tracer.span("a", "x", "l1", 0, 1)
+        tracer.span("b", "y", "l2", 0, 1)
+        tracer.counter("q", "x", "l1", 2, 7)
+        assert len(tracer.spans(category="x")) == 1
+        assert len(tracer.spans(name="b")) == 1
+        assert tracer.counters("q")[0].args["value"] == 7
+        assert tracer.lanes() == ["l1", "l2"]
+
+    def test_event_key_is_stable(self):
+        event = TraceEvent("span", "n", "c", "l", 1, 2, {"b": 2, "a": 1})
+        assert event.key() == ("span", "n", "c", "l", 1, 2,
+                               (("a", 1), ("b", 2)))
+
+
+class TestStepClock:
+    def test_tick_returns_previous(self):
+        clock = StepClock()
+        assert clock.tick() == 0
+        assert clock.tick(3) == 1
+        assert clock.now == 4
+
+
+class TestMergeEvents:
+    def test_orders_by_start(self):
+        early = TraceEvent("instant", "a", "c", "l", 1, 0)
+        late = TraceEvent("instant", "b", "c", "l", 9, 0)
+        assert [e.name for e in merge_events([late], [early])] == ["a", "b"]
+
+
+class TestFunctionalTierInstrumentation:
+    def test_independent_phase_spans(self):
+        tracer = CollectingTracer()
+        protocol = IndependentProtocol(6, 2, tracer=tracer)
+        for address in range(6):
+            protocol.read(address)
+        names = {event.name
+                 for event in tracer.spans(category=CATEGORY_PROTOCOL)}
+        assert {"ACCESS", "PROBE", "FETCH_RESULT", "APPEND"} <= names
+
+    def test_split_phase_spans(self):
+        tracer = CollectingTracer()
+        protocol = SplitProtocol(6, 2, tracer=tracer)
+        protocol.read(1)
+        names = [event.name
+                 for event in tracer.spans(category=CATEGORY_PROTOCOL)]
+        assert names == ["FETCH_DATA", "METADATA", "FETCH_STASH",
+                         "RECEIVE_LIST"]
+
+    def test_link_events_mirrored_as_instants(self):
+        tracer = CollectingTracer()
+        protocol = IndependentProtocol(6, 2, tracer=tracer)
+        protocol.read(0)
+        link = [event for event in tracer.events
+                if event.category == CATEGORY_LINK]
+        # ACCESS + PROBE + FETCH_RESULT up/down + one APPEND per SDIMM.
+        assert len(link) == 6
+        assert {event.args["direction"] for event in link} == {"up", "down"}
+
+    def test_stash_occupancy_timeline(self):
+        tracer = CollectingTracer()
+        oram = PathOram(levels=5, blocks_per_bucket=4, block_bytes=64,
+                        stash_capacity=50, rng=DeterministicRng(7, "t"),
+                        tracer=tracer, trace_lane="stash0")
+        for address in range(12):
+            oram.access(address, Op.READ)
+        samples = [event.args["value"]
+                   for event in tracer.counters("stash_occupancy")]
+        assert samples, "occupancy timeline must not be empty"
+        assert max(samples) == oram.stash.peak_occupancy
+        assert all(event.category == CATEGORY_STASH
+                   for event in tracer.counters("stash_occupancy"))
