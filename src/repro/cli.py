@@ -148,8 +148,19 @@ def cmd_audit_trace(args) -> int:
     return 0 if sound else 1
 
 
+def _sweep_cache(args):
+    """Build the run cache a sweep/compare invocation asked for."""
+    if args.no_cache:
+        return None
+    from repro.parallel import RunCache, default_cache_dir
+
+    return RunCache(args.cache_dir or default_cache_dir())
+
+
 def cmd_compare(args) -> int:
     """Handle ``repro compare``."""
+    from repro.parallel import SweepPoint, run_sweep
+
     designs: List[DesignPoint] = [DesignPoint.NONSECURE,
                                   DesignPoint.FREECURSIVE]
     if args.channels == 1:
@@ -157,30 +168,50 @@ def cmd_compare(args) -> int:
     else:
         designs += [DesignPoint.INDEP_4, DesignPoint.SPLIT_4,
                     DesignPoint.INDEP_SPLIT]
+    points = [SweepPoint(design, args.workload, channels=args.channels,
+                         trace_length=args.trace_length, seed=args.seed)
+              for design in designs]
+    outcome = run_sweep(points, jobs=args.jobs, cache=_sweep_cache(args))
     print(f"{'design':12s} {'cycles':>12s} {'vs freec':>9s} "
-          f"{'latency':>9s} {'energy uJ':>10s}")
+          f"{'latency':>9s} {'energy uJ':>10s} {'wall ms':>8s}")
     baseline = None
-    for design in designs:
-        result, energy = _run(design, args.workload, args.channels,
-                              args.trace_length, args.seed)
+    for entry in outcome.results:
+        result = entry.result
+        design = entry.point.design
+        config = entry.point.system_config()
+        model = DramEnergyModel(config.power, config.timing,
+                                config.organization,
+                                config.cpu.cpu_cycles_per_mem_cycle)
+        energy = model.report(result).total_pj
         if design is DesignPoint.FREECURSIVE:
             baseline = result
         normalized = (f"{result.normalized_time(baseline):8.3f}"
                       if baseline else "       -")
+        wall = "   cache" if entry.from_cache else f"{entry.wall_ms:8.0f}"
         print(f"{design.value:12s} {result.execution_cycles:12,} "
               f"{normalized:>9s} {result.miss_latency.mean:9.0f} "
-              f"{energy / 1e6:10.1f}")
+              f"{energy / 1e6:10.1f} {wall}")
     return 0
 
 
 def cmd_sweep(args) -> int:
-    """Handle ``repro sweep``."""
+    """Handle ``repro sweep``.
+
+    The table is produced from the merged sweep outcome, so it is
+    byte-identical for any ``--jobs`` value (the determinism contract
+    ``tests/test_parallel_sweep.py`` pins).
+    """
+    from repro.parallel import SweepPoint, run_sweep
+
+    points = [SweepPoint(args.design, workload, channels=args.channels,
+                         trace_length=args.trace_length, seed=args.seed)
+              for workload in profile_names()]
+    outcome = run_sweep(points, jobs=args.jobs, cache=_sweep_cache(args))
     print(f"{'workload':12s} {'cycles':>12s} {'hit':>5s} {'ap/ms':>6s} "
           f"{'latency':>9s}")
-    for workload in profile_names():
-        result, _ = _run(args.design, workload, args.channels,
-                         args.trace_length, args.seed)
-        print(f"{workload:12s} {result.execution_cycles:12,} "
+    for entry in outcome.results:
+        result = entry.result
+        print(f"{entry.point.workload:12s} {result.execution_cycles:12,} "
               f"{result.llc_hit_rate:5.2f} "
               f"{result.accessorams_per_miss:6.2f} "
               f"{result.miss_latency.mean:9.0f}")
@@ -286,6 +317,18 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--trace-length", type=int, default=4000)
         sub.add_argument("--seed", type=int, default=2018)
 
+    def concurrency(sub):
+        sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for independent points "
+                              "(1 = in-process serial; output is "
+                              "identical for any value)")
+        sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="persistent run-cache directory (default: "
+                              "$REPRO_CACHE_DIR or ./.repro-cache)")
+        sub.add_argument("--no-cache", action="store_true",
+                         help="always re-simulate; do not read or write "
+                              "the run cache")
+
     simulate = subparsers.add_parser(
         "simulate", help="run one design on one workload")
     simulate.add_argument("design", type=_design)
@@ -306,12 +349,14 @@ def build_parser() -> argparse.ArgumentParser:
         "compare", help="run the whole design space on one workload")
     compare.add_argument("workload")
     common(compare)
+    concurrency(compare)
     compare.set_defaults(handler=cmd_compare)
 
     sweep = subparsers.add_parser(
         "sweep", help="run every workload for one design")
     sweep.add_argument("design", type=_design)
     common(sweep)
+    concurrency(sweep)
     sweep.set_defaults(handler=cmd_sweep)
 
     overflow = subparsers.add_parser(

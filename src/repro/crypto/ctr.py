@@ -7,11 +7,20 @@ counter).  Its two properties matter to the ORAM protocols:
   (the paper's 21-cycle crypto pipeline), and
 * re-encrypting a bucket after an access requires only bumping its counter,
   so identical plaintexts never produce identical ciphertexts.
+
+The functional tier decrypts and immediately re-encrypts every bucket it
+touches, so each (nonce, counter) pad is requested at least twice; the
+cipher keeps a bounded cache of derived keystreams (the emulation of the
+hardware pipeline's pad precomputation) and XORs through large-integer
+arithmetic instead of a per-byte generator.
 """
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.crypto.prf import Prf
+from repro.utils.memo import DEFAULT_MEMO_CAP, MEMO_ENABLED
 
 
 class CounterModeCipher:
@@ -19,16 +28,27 @@ class CounterModeCipher:
 
     def __init__(self, key: bytes):
         self._prf = Prf(key)
+        self._pad_cache: Dict[Tuple[int, int], bytes] = {}
 
     def pad(self, nonce: int, counter: int, length: int) -> bytes:
         """The keystream for a given (nonce, counter) pair."""
+        cached = self._pad_cache.get((nonce, counter))
+        if cached is not None and len(cached) >= length:
+            return cached[:length]
         seed = nonce.to_bytes(8, "little") + counter.to_bytes(8, "little")
-        return self._prf.evaluate(b"pad:" + seed, length)
+        keystream = self._prf.evaluate(b"pad:" + seed, length)
+        if MEMO_ENABLED:
+            if len(self._pad_cache) >= DEFAULT_MEMO_CAP:
+                self._pad_cache.clear()
+            self._pad_cache[(nonce, counter)] = keystream
+        return keystream
 
     def encrypt(self, plaintext: bytes, nonce: int, counter: int) -> bytes:
         """XOR ``plaintext`` with the (nonce, counter) pad."""
         pad = self.pad(nonce, counter, len(plaintext))
-        return bytes(p ^ k for p, k in zip(plaintext, pad))
+        mask = int.from_bytes(plaintext, "little") ^ \
+            int.from_bytes(pad, "little")
+        return mask.to_bytes(len(plaintext), "little")
 
     def decrypt(self, ciphertext: bytes, nonce: int, counter: int) -> bytes:
         """Counter mode is an involution: decryption equals encryption."""

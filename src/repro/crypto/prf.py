@@ -25,6 +25,9 @@ class Prf:
         if len(key) < 16:
             raise ValueError("PRF key must be at least 128 bits")
         self._key = key
+        # HMAC's key schedule (two padded key blocks) is the same for
+        # every evaluation; hash it once and fork copies per message.
+        self._template = hmac.new(key, b"", hashlib.sha256)
 
     def evaluate(self, message: bytes, length: int = DIGEST_BYTES) -> bytes:
         """Return ``length`` pseudo-random bytes for ``message``."""
@@ -33,12 +36,9 @@ class Prf:
         output = bytearray()
         block_index = 0
         while len(output) < length:
-            block = hmac.new(
-                self._key,
-                message + block_index.to_bytes(4, "little"),
-                hashlib.sha256,
-            ).digest()
-            output.extend(block)
+            mac = self._template.copy()
+            mac.update(message + block_index.to_bytes(4, "little"))
+            output.extend(mac.digest())
             block_index += 1
         return bytes(output[:length])
 

@@ -11,9 +11,11 @@ bypass this mapper and place buckets explicitly; they still produce
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict
 
 from repro.config import DramOrganization
 from repro.utils.bitops import extract_bits, log2_exact
+from repro.utils.memo import DEFAULT_MEMO_CAP, MEMO_ENABLED
 
 
 @dataclass(frozen=True)
@@ -61,6 +63,9 @@ class AddressMapper:
             "row": log2_exact(organization.rows_per_bank),
         }
         self._order = self.SCHEMES[scheme]
+        # decode() dominates the non-secure baseline's per-miss cost; the
+        # mapping is pure, so memoize it (bounded: clears when full).
+        self._decode_cache: Dict[int, DecodedAddress] = {}
 
     @property
     def lines_per_channel(self) -> int:
@@ -68,6 +73,9 @@ class AddressMapper:
 
     def decode(self, line_address: int) -> DecodedAddress:
         """Split a line address into channel coordinates."""
+        cached = self._decode_cache.get(line_address)
+        if cached is not None:
+            return cached
         if not 0 <= line_address < self.lines_per_channel:
             raise ValueError(
                 f"line address {line_address} outside channel "
@@ -78,8 +86,13 @@ class AddressMapper:
             width = self._field_bits[name]
             fields[name] = extract_bits(line_address, low, width)
             low += width
-        return DecodedAddress(rank=fields["rank"], bank=fields["bank"],
-                              row=fields["row"], column=fields["column"])
+        decoded = DecodedAddress(rank=fields["rank"], bank=fields["bank"],
+                                 row=fields["row"], column=fields["column"])
+        if MEMO_ENABLED:
+            if len(self._decode_cache) >= DEFAULT_MEMO_CAP:
+                self._decode_cache.clear()
+            self._decode_cache[line_address] = decoded
+        return decoded
 
     def encode(self, decoded: DecodedAddress) -> int:
         """Inverse of :meth:`decode`."""

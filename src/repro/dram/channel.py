@@ -12,16 +12,21 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, NamedTuple, Optional
 
 from repro.config import DramOrganization, DramTiming
 from repro.dram.address import DecodedAddress
 from repro.dram.bank import ScaledTiming
-from repro.dram.commands import RowBufferOutcome
+from repro.dram.commands import PowerState, RowBufferOutcome
 from repro.dram.rank import Rank
 from repro.obs.tracer import CATEGORY_DRAM, NULL_TRACER, Tracer
+from repro.utils.memo import REFERENCE_CORE
 
 _request_ids = itertools.count()
+
+_PARKED = (PowerState.POWER_DOWN, PowerState.SELF_REFRESH)
+_HIT = RowBufferOutcome.HIT
+_CONFLICT = RowBufferOutcome.CONFLICT
 
 
 @dataclass
@@ -35,9 +40,13 @@ class MemoryRequest:
     completion_time: Optional[int] = None
 
 
-@dataclass(frozen=True)
-class AccessTiming:
-    """When one column access actually happened on the channel."""
+class AccessTiming(NamedTuple):
+    """When one column access actually happened on the channel.
+
+    A NamedTuple rather than a frozen dataclass: one is built per
+    scheduled run and tuple construction skips the per-field
+    ``object.__setattr__`` a frozen dataclass pays.
+    """
 
     cas_issue: int
     data_start: int
@@ -72,6 +81,7 @@ class Channel:
         self._banks_per_group = (organization.banks_per_rank //
                                  max(1, organization.bank_groups))
         self._last_group_cas: Dict[tuple, int] = {}
+        self._row_lines = organization.row_bytes // 64
         self.counters = ChannelCounters()
 
     def _bank_group(self, address: DecodedAddress) -> tuple:
@@ -144,7 +154,7 @@ class Channel:
         self._last_bus_was_write = is_write
         self.counters.note_outcome(outcome)
         self.counters.busy_cycles += self.timing.tburst
-        rank.note_activity(data_end)
+        rank.note_active(data_end)
         if self.tracer.enabled:
             self.tracer.span("burst", CATEGORY_DRAM, self.name,
                              data_start, data_end, rank=address.rank,
@@ -162,6 +172,113 @@ class Channel:
         ``count`` calls of :meth:`schedule_access` (one potential PRE/ACT,
         then CAS streaming at the burst rate) but O(1), which is what makes
         a pure-Python path access affordable.
+
+        This is the hottest function of a timing-tier run, so the body
+        trades the helper-per-constraint style of
+        :meth:`_schedule_run_reference` for hoisted locals and inline
+        comparisons.  Both versions apply the same constraint chain and
+        are cycle-identical (``tests/test_refcore.py`` checks them against
+        each other; ``REPRO_REFERENCE_CORE=1`` selects the reference one).
+        """
+        if REFERENCE_CORE:
+            return self._schedule_run_reference(address, count, is_write,
+                                                earliest)
+        if count < 1:
+            raise ValueError("run must cover at least one line")
+        if address.column + count > self._row_lines:
+            raise ValueError("run crosses a row boundary")
+        t = self.timing
+        counters = self.counters
+        rank_index = address.rank
+        rank = self.ranks[rank_index]
+        start = earliest if earliest > 0 else 0
+        if rank.power_state in _PARKED:
+            start = rank.wake(start)
+        if rank.refresh_enabled:
+            start = rank.maybe_refresh(start)
+        bank = rank.banks[address.bank]
+
+        row = address.row
+        if bank.open_row == row:
+            outcome = _HIT
+            counters.row_hits += 1
+        else:
+            outcome = bank.classify(row)
+            if outcome is _CONFLICT:
+                ready = bank.ready_precharge
+                bank.precharge(start if start > ready else ready)
+                counters.precharges += 1
+                counters.row_conflicts += 1
+            else:
+                counters.row_misses += 1
+            ready = bank.ready_activate
+            activate_time = rank.earliest_activate(
+                start if start > ready else ready)
+            bank.activate(activate_time, row)
+            rank.record_activate(activate_time)
+            counters.activates += 1
+
+        cas_latency = t.tcwl if is_write else t.tcl
+        cas_issue = start
+        ready = bank.ready_cas
+        if ready > cas_issue:
+            cas_issue = ready
+        group = (rank_index, address.bank // self._banks_per_group)
+        last_group_cas = self._last_group_cas
+        last = last_group_cas.get(group)
+        if last is not None:
+            ready = last + t.tccd_l
+            if ready > cas_issue:
+                cas_issue = ready
+        ready = self._bus_free
+        last_bus_rank = self._last_bus_rank
+        if last_bus_rank is not None and last_bus_rank != rank_index:
+            ready += t.trtrs
+        ready -= cas_latency
+        if ready > cas_issue:
+            cas_issue = ready
+        if not is_write:
+            ready = self._write_to_read_ready.get(rank_index, 0)
+            if ready > cas_issue:
+                cas_issue = ready
+
+        tburst = t.tburst
+        tccd_l = t.tccd_l
+        stride = tburst if tburst > tccd_l else tccd_l
+        data_start = cas_issue + cas_latency
+        data_end = data_start + (count - 1) * stride + tburst
+        last_cas = cas_issue + (count - 1) * stride
+
+        if is_write:
+            bank.write(last_cas)
+            self._write_to_read_ready[rank_index] = data_end + t.twtr
+            counters.writes += count
+        else:
+            bank.read(last_cas)
+            counters.reads += count
+        last_group_cas[group] = last_cas
+        self._bus_free = data_end
+        self._last_bus_rank = rank_index
+        self._last_bus_was_write = is_write
+        if count > 1:
+            counters.row_hits += count - 1
+        counters.busy_cycles += count * tburst
+        rank.note_active(data_end)
+        if self.tracer.enabled:
+            self.tracer.span("burst", CATEGORY_DRAM, self.name,
+                             data_start, data_end, rank=rank_index,
+                             bank=address.bank, row=row,
+                             write=int(is_write), lines=count,
+                             outcome=outcome.value)
+        return AccessTiming(cas_issue, data_start, data_end, outcome)
+
+    def _schedule_run_reference(self, address: DecodedAddress, count: int,
+                                is_write: bool, earliest: int) -> AccessTiming:
+        """Reference :meth:`schedule_run`: one helper per DDR constraint.
+
+        Kept as the readable specification of the constraint chain and as
+        the baseline side of the hot-path benchmark
+        (``benchmarks/bench_speedup.py``).
         """
         if count < 1:
             raise ValueError("run must cover at least one line")

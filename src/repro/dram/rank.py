@@ -13,6 +13,10 @@ from typing import Dict, List
 
 from repro.dram.bank import Bank, ScaledTiming
 from repro.dram.commands import PowerState
+from repro.utils.memo import REFERENCE_CORE
+
+#: States note_activity leaves untouched (the low-power manager owns them).
+_PARKED = (PowerState.POWER_DOWN, PowerState.SELF_REFRESH)
 
 
 class Rank:
@@ -133,11 +137,26 @@ class Rank:
         any_open = any(bank.open_row is not None for bank in self.banks)
         target = (PowerState.ACTIVE_STANDBY if any_open
                   else PowerState.PRECHARGE_STANDBY)
-        if self.power_state in (PowerState.POWER_DOWN,
-                                PowerState.SELF_REFRESH):
+        if self.power_state in _PARKED:
             return
         if self.power_state != target:
             self._transition(target, now)
+
+    def note_active(self, now: int) -> None:
+        """:meth:`note_activity` for call sites that just opened a row.
+
+        Every access path calls this right after a CAS, when the touched
+        bank's row is guaranteed open — so the bank scan always resolves
+        to ACTIVE_STANDBY and can be skipped.  Residency bookkeeping is
+        identical to :meth:`note_activity`.
+        """
+        if REFERENCE_CORE:
+            self.note_activity(now)
+            return
+        state = self.power_state
+        if state is PowerState.ACTIVE_STANDBY or state in _PARKED:
+            return
+        self._transition(PowerState.ACTIVE_STANDBY, now)
 
     def finalize(self, end_time: int) -> None:
         """Close out state residency at the end of simulation."""

@@ -1,0 +1,248 @@
+"""The sweep engine: fan independent simulation points over processes.
+
+Every figure of the paper is a sweep over (design x workload x
+trace-length) points, and each point is an independent, deterministic
+simulation — embarrassingly parallel work.  The engine:
+
+* executes points through a ``multiprocessing`` pool (``jobs`` workers),
+  falling back to the exact same in-process code path when ``jobs <= 1``
+  or a pool cannot be created (restricted environments, missing sem
+  support);
+* merges results **by submission index**, never by completion order, so
+  the output is bit-identical no matter how the pool interleaves — the
+  property the golden-master parity tests pin (and reprolint's DET001
+  ``imap_unordered`` check enforces syntactically);
+* consults a :class:`~repro.parallel.cache.RunCache` before spawning any
+  work, and writes every fresh result back, so repeated sweeps cost one
+  disk read per point;
+* folds each worker's metrics into a single
+  :class:`~repro.obs.metrics.MetricsRegistry` for the caller.
+
+Workers re-derive everything from the :class:`SweepPoint` (a small
+picklable description), never from parent state, which is what makes the
+serial and parallel paths indistinguishable.
+"""
+
+from __future__ import annotations
+
+import time  # host-side wall-clock only; simulated time lives in EventQueue
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DesignPoint, SystemConfig, table2_config
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.cache import RunCache
+from repro.parallel.fingerprint import code_fingerprint
+from repro.parallel.serialize import (run_result_from_dict,
+                                      run_result_to_dict)
+from repro.sim.stats import RunResult
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent simulation request (picklable, hashable).
+
+    ``config`` overrides the default Table II configuration when given —
+    tests sweep :func:`~repro.config.small_config` trees this way.
+    """
+
+    design: DesignPoint
+    workload: str
+    channels: int = 1
+    trace_length: int = 4000
+    seed: int = 2018
+    oram_cache_enabled: bool = True
+    window_policy: str = "in-order"
+    collect_trace: bool = False
+    config: Optional[SystemConfig] = None
+
+    def system_config(self) -> SystemConfig:
+        if self.config is not None:
+            return self.config
+        return table2_config(self.design, channels=self.channels,
+                             oram_cache_enabled=self.oram_cache_enabled,
+                             seed=self.seed)
+
+
+@dataclass
+class PointResult:
+    """One executed (or cache-served) sweep point."""
+
+    point: SweepPoint
+    result: RunResult
+    from_cache: bool
+    wall_ms: float
+    chrome_json: Optional[str] = None
+
+
+@dataclass
+class SweepOutcome:
+    """Everything one sweep produced, in submission order."""
+
+    results: List[PointResult]
+    metrics: MetricsRegistry
+    jobs: int
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    def run_results(self) -> List[RunResult]:
+        return [entry.result for entry in self.results]
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def execute_point(point: SweepPoint) -> Dict[str, object]:
+    """Run one point; returns a picklable payload.
+
+    Used verbatim by the serial path and by pool workers, which is the
+    determinism argument in one line: both paths run *this* function.
+    """
+    from repro.sim.system import run_simulation
+
+    tracer = None
+    started = time.perf_counter()  # reprolint: disable=DET001 -- host wall-clock for throughput metrics, never enters simulated state
+    if point.collect_trace:
+        from repro.obs.tracer import CollectingTracer
+
+        tracer = CollectingTracer()
+    config = point.system_config()
+    if tracer is not None:
+        result = run_simulation(config, point.workload,
+                                trace_length=point.trace_length,
+                                trace_seed=point.seed,
+                                window_policy=point.window_policy,
+                                tracer=tracer)
+    else:
+        result = run_simulation(config, point.workload,
+                                trace_length=point.trace_length,
+                                trace_seed=point.seed,
+                                window_policy=point.window_policy)
+    wall_ms = (time.perf_counter() - started) * 1000.0  # reprolint: disable=DET001 -- host wall-clock for throughput metrics, never enters simulated state
+    chrome_json = None
+    worker_metrics = MetricsRegistry()
+    worker_metrics.counter("sweep/executed").inc()
+    worker_metrics.histogram("sweep/wall_ms").record(int(wall_ms))
+    if tracer is not None:
+        from repro.obs.chrome import render_chrome_trace
+
+        chrome_json = render_chrome_trace(tracer.events)
+        worker_metrics.from_events(tracer.events)
+    return {
+        "result": run_result_to_dict(result),
+        "wall_ms": wall_ms,
+        "chrome_json": chrome_json,
+        "metrics": worker_metrics.as_dict(),
+    }
+
+
+def _pool_worker(task: Tuple[int, SweepPoint]) -> Tuple[int, Dict[str, object]]:
+    index, point = task
+    return index, execute_point(point)
+
+
+# ----------------------------------------------------------------------
+# Metrics folding
+# ----------------------------------------------------------------------
+
+def fold_metrics(target: MetricsRegistry, payload: Dict[str, object]) -> None:
+    """Fold one worker's ``MetricsRegistry.as_dict()`` into ``target``."""
+    for name, value in payload.get("counters", {}).items():
+        target.counter(name).inc(int(value))
+    for name, stats in payload.get("gauges", {}).items():
+        gauge = target.gauge(name)
+        gauge.set(int(stats["min"]))
+        gauge.set(int(stats["max"]))
+        gauge.set(int(stats["last"]))
+    for name, stats in payload.get("histograms", {}).items():
+        histogram = target.histogram(name)
+        for bucket, count in stats.get("buckets", {}).items():
+            histogram.buckets[int(bucket)] = (
+                histogram.buckets.get(int(bucket), 0) + int(count))
+        histogram.count += int(stats.get("count", 0))
+        histogram.total += int(stats.get("total", 0))
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+
+def _make_pool(jobs: int):
+    """A worker pool, or ``None`` when the platform cannot provide one."""
+    try:
+        import multiprocessing
+
+        return multiprocessing.get_context().Pool(jobs)
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+def run_sweep(points: Sequence[SweepPoint], jobs: int = 1,
+              cache: Optional[RunCache] = None) -> SweepOutcome:
+    """Execute every point; results come back in submission order.
+
+    ``jobs <= 1`` (or an unavailable pool) degrades to the in-process
+    serial path — same worker function, same merge, same output.
+    """
+    points = list(points)
+    metrics = MetricsRegistry()
+    metrics.gauge("sweep/jobs").set(max(1, jobs))
+    metrics.counter("sweep/points").inc(len(points))
+    fingerprint = code_fingerprint() if cache is not None else None
+
+    slots: List[Optional[PointResult]] = [None] * len(points)
+    pending: List[Tuple[int, SweepPoint]] = []
+    keys: Dict[int, str] = {}
+
+    for index, point in enumerate(points):
+        if cache is None:
+            pending.append((index, point))
+            continue
+        key = cache.key_for(point.system_config(), point.workload,
+                            point.trace_length, trace_seed=point.seed,
+                            window_policy=point.window_policy,
+                            collect_trace=point.collect_trace,
+                            fingerprint=fingerprint)
+        keys[index] = key
+        cached = cache.get(key)
+        if cached is not None:
+            metrics.counter("sweep/cache_hits").inc()
+            slots[index] = PointResult(point=point, result=cached.result,
+                                       from_cache=True, wall_ms=0.0,
+                                       chrome_json=cached.chrome_json)
+        else:
+            metrics.counter("sweep/cache_misses").inc()
+            pending.append((index, point))
+
+    payloads: List[Tuple[int, Dict[str, object]]] = []
+    pool = _make_pool(jobs) if jobs > 1 and len(pending) > 1 else None
+    if pool is None:
+        for task in pending:
+            payloads.append(_pool_worker(task))
+    else:
+        with pool:
+            # completion order is nondeterministic; the sorted index-keyed
+            # merge below is what makes the sweep order-independent
+            for index, payload in pool.imap_unordered(_pool_worker, pending):
+                payloads.append((index, payload))
+            pool.close()
+            pool.join()
+
+    for index, payload in sorted(payloads, key=lambda item: item[0]):
+        point = points[index]
+        result = run_result_from_dict(payload["result"])
+        chrome_json = payload["chrome_json"]
+        slots[index] = PointResult(point=point, result=result,
+                                   from_cache=False,
+                                   wall_ms=float(payload["wall_ms"]),
+                                   chrome_json=chrome_json)
+        fold_metrics(metrics, payload["metrics"])
+        if cache is not None:
+            cache.put(keys[index], result, chrome_json=chrome_json,
+                      fingerprint=fingerprint)
+
+    results = [entry for entry in slots if entry is not None]
+    assert len(results) == len(points), "sweep lost a point"
+    return SweepOutcome(results=results, metrics=metrics,
+                        jobs=max(1, jobs),
+                        cache_stats=cache.stats.as_dict() if cache else {})

@@ -241,6 +241,8 @@ class SdimmDevice:
         self.rng = rng
         self.work = WorkQueue(events, name)
         self.path_accesses = 0
+        # morphed-mode mapper, built once so its decode memo survives
+        self._plain_mapper = AddressMapper(self.channel.organization, 64)
 
     # ------------------------------------------------------------------
 
@@ -316,7 +318,7 @@ class SdimmDevice:
         secure and non-secure memory" — the buffer simply relays a normal
         access instead of running ``accessORAM``.
         """
-        mapper = AddressMapper(self.channel.organization, 64)
+        mapper = self._plain_mapper
         address = mapper.decode(line_address % mapper.lines_per_channel)
         start = self.prepare_rank_by_index(address.rank, start)
         timing = self.channel.schedule_access(address, is_write, start)

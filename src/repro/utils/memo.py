@@ -1,0 +1,34 @@
+"""Process-wide switches for the hot-path work (memo caches, fast cores).
+
+Two independent toggles, both read once at module-import time:
+
+* ``REPRO_DISABLE_MEMO=1`` turns off the pure memoization caches in
+  :mod:`repro.dram.address`, :mod:`repro.oram.layout` and
+  :mod:`repro.crypto.ctr` — they never change a result, only skip
+  recomputing it, so they are on by default.
+* ``REPRO_REFERENCE_CORE=1`` selects the straightforward *reference*
+  implementations of the hottest simulator functions (closure-based
+  event scheduling in :mod:`repro.sim.events`, the helper-per-constraint
+  ``schedule_run`` in :mod:`repro.dram.channel`, the bank-scanning
+  ``note_activity`` in :mod:`repro.dram.rank`) instead of the optimized
+  ones.  Both produce bit-identical simulations — the differential tests
+  in ``tests/test_refcore.py`` and the golden masters pin that — which is
+  how ``benchmarks/bench_speedup.py`` measures the hot-path speedup in
+  two subprocesses, and how a suspicious reader can prove to themselves
+  that the optimizations do not perturb cycles.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Read once at import; the benchmarks set the variable before spawning.
+MEMO_ENABLED: bool = os.environ.get("REPRO_DISABLE_MEMO", "") != "1"
+
+#: ``True`` selects the reference (pre-optimization) hot-path cores.
+REFERENCE_CORE: bool = os.environ.get("REPRO_REFERENCE_CORE", "") == "1"
+
+#: Default bound for per-instance memo dictionaries.  Caches clear and
+#: restart when full — simpler and faster than LRU bookkeeping, and a
+#: full wipe keeps worst-case memory at one bounded dict per instance.
+DEFAULT_MEMO_CAP = 1 << 16

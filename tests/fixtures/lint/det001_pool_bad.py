@@ -1,0 +1,20 @@
+"""Fixture: order-dependent consumption of pool.imap_unordered.
+
+Every function here leaks pool completion order — which depends on host
+scheduling — into its result.  Expected findings: 3 (one per function).
+"""
+
+
+def materialize_list(pool, run, work):
+    return list(pool.imap_unordered(run, work))
+
+
+def materialize_tuple(pool, run, work):
+    return tuple(pool.imap_unordered(run, work))
+
+
+def append_without_reorder(pool, run, work):
+    results = []
+    for payload in pool.imap_unordered(run, work):
+        results.append(payload)
+    return results

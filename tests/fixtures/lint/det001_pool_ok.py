@@ -1,0 +1,31 @@
+"""Fixture: order-independent consumption of pool.imap_unordered.
+
+All four shapes keep results independent of pool completion order and
+must produce no findings.
+"""
+
+
+def append_then_sort(pool, run, tasks):
+    payloads = []
+    for index, payload in pool.imap_unordered(run, tasks):
+        payloads.append(payload if index else payload)
+        payloads.append((index, payload))
+    return [entry for _, entry in sorted(payloads, key=lambda item: item[0])]
+
+
+def merge_by_subscript(pool, run, tasks):
+    slots = [None] * len(tasks)
+    for index, payload in pool.imap_unordered(run, tasks):
+        slots[index] = payload
+    return slots
+
+
+def merge_into_dict(pool, run, tasks):
+    merged = {}
+    for key, payload in pool.imap_unordered(run, tasks):
+        merged[key] = payload
+    return [merged[key] for key in sorted(merged)]
+
+
+def ordered_imap_is_fine(pool, run, tasks):
+    return list(pool.imap(run, tasks))

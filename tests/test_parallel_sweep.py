@@ -1,0 +1,119 @@
+"""Golden-master determinism of the parallel sweep engine.
+
+The ISSUE-level guarantee: ``run_sweep(points, jobs=4)`` is **byte
+identical** to ``run_sweep(points, jobs=1)`` — same ``RunResult`` fields
+(including the traced ``phase_cycles`` breakdown), same Chrome-trace
+export, same submission ordering — no matter how pool workers interleave.
+Also covered: the serial fallback when no pool can be created, metrics
+folding, and cache interaction of a full sweep.
+"""
+
+import pytest
+
+from repro.config import DesignPoint, small_config
+from repro.parallel import RunCache, SweepPoint, run_result_to_dict, run_sweep
+from repro.parallel.serialize import canonical_json
+import repro.parallel.sweep as sweep_module
+
+#: 2 designs x 2 workloads, all traced — the matrix the issue asks for.
+POINTS = tuple(
+    SweepPoint(design, workload, trace_length=300, collect_trace=True,
+               config=small_config(design))
+    for design in (DesignPoint.FREECURSIVE, DesignPoint.INDEP_2)
+    for workload in ("mcf", "gromacs"))
+
+
+def result_bytes(outcome):
+    """Every observable of a sweep, canonically serialized."""
+    return [
+        (canonical_json(run_result_to_dict(entry.result)),
+         entry.chrome_json,
+         entry.from_cache)
+        for entry in outcome.results
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_outcome():
+    return run_sweep(list(POINTS), jobs=1)
+
+
+class TestDeterminism:
+    def test_parallel_is_byte_identical_to_serial(self, serial_outcome):
+        parallel = run_sweep(list(POINTS), jobs=4)
+        assert result_bytes(parallel) == result_bytes(serial_outcome)
+
+    def test_phase_cycles_survive_the_pool(self, serial_outcome):
+        parallel = run_sweep(list(POINTS), jobs=4)
+        for serial_entry, parallel_entry in zip(serial_outcome.results,
+                                                parallel.results):
+            assert serial_entry.result.phase_cycles
+            assert (serial_entry.result.phase_cycles ==
+                    parallel_entry.result.phase_cycles)
+
+    def test_chrome_traces_are_identical_and_nonempty(self, serial_outcome):
+        parallel = run_sweep(list(POINTS), jobs=4)
+        for serial_entry, parallel_entry in zip(serial_outcome.results,
+                                                parallel.results):
+            assert serial_entry.chrome_json
+            assert serial_entry.chrome_json == parallel_entry.chrome_json
+
+    def test_results_come_back_in_submission_order(self, serial_outcome):
+        for point, entry in zip(POINTS, serial_outcome.results):
+            assert entry.point == point
+
+
+class TestSerialFallback:
+    def test_pool_failure_degrades_to_serial(self, serial_outcome,
+                                             monkeypatch):
+        monkeypatch.setattr(sweep_module, "_make_pool", lambda jobs: None)
+        fallback = run_sweep(list(POINTS), jobs=4)
+        assert result_bytes(fallback) == result_bytes(serial_outcome)
+
+    def test_jobs_one_never_builds_a_pool(self, monkeypatch):
+        def boom(jobs):
+            raise AssertionError("jobs=1 must not construct a pool")
+        monkeypatch.setattr(sweep_module, "_make_pool", boom)
+        outcome = run_sweep([POINTS[0]], jobs=1)
+        assert len(outcome.results) == 1
+
+
+class TestMetrics:
+    def test_worker_metrics_fold_into_one_registry(self):
+        outcome = run_sweep(list(POINTS[:2]), jobs=2)
+        metrics = outcome.metrics.as_dict()
+        assert metrics["counters"]["sweep/executed"] == 2
+        assert metrics["counters"]["sweep/points"] == 2
+        assert metrics["histograms"]["sweep/wall_ms"]["count"] == 2
+
+    def test_jobs_recorded(self):
+        outcome = run_sweep([POINTS[0]], jobs=3)
+        assert outcome.jobs == 3
+        assert outcome.metrics.as_dict()["gauges"]["sweep/jobs"]["last"] == 3
+
+
+class TestSweepWithCache:
+    def test_second_sweep_is_all_hits_and_identical(self, tmp_path,
+                                                    serial_outcome):
+        cache = RunCache(str(tmp_path / "runs"))
+        first = run_sweep(list(POINTS), jobs=2, cache=cache)
+        assert all(not entry.from_cache for entry in first.results)
+        assert cache.stats.writes == len(POINTS)
+
+        second = run_sweep(list(POINTS), jobs=2, cache=cache)
+        assert all(entry.from_cache for entry in second.results)
+        # cached bytes match the pool-free serial ground truth
+        assert ([bytes_ for bytes_, _, _ in result_bytes(second)] ==
+                [bytes_ for bytes_, _, _ in result_bytes(serial_outcome)])
+        assert second.cache_stats["hits"] == len(POINTS)
+
+    def test_traced_and_untraced_points_never_share_entries(self, tmp_path):
+        cache = RunCache(str(tmp_path / "runs"))
+        traced = POINTS[0]
+        untraced = SweepPoint(traced.design, traced.workload,
+                              trace_length=traced.trace_length,
+                              collect_trace=False, config=traced.config)
+        run_sweep([traced], jobs=1, cache=cache)
+        outcome = run_sweep([untraced], jobs=1, cache=cache)
+        assert not outcome.results[0].from_cache
+        assert cache.entry_count() == 2

@@ -1,0 +1,145 @@
+"""The persistent run cache: hits, misses, corruption, invalidation."""
+
+import json
+import os
+
+import pytest
+
+from repro.config import DesignPoint, small_config
+from repro.parallel import RunCache, default_cache_dir
+from repro.parallel.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIRNAME
+from repro.parallel.serialize import run_result_to_dict
+from repro.sim.system import run_simulation
+
+CONFIG = small_config(DesignPoint.FREECURSIVE)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_simulation(CONFIG, "mcf", trace_length=200)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return RunCache(str(tmp_path / "runs"))
+
+
+class TestRoundTrip:
+    def test_hit_returns_equal_result(self, cache, result):
+        key = cache.key_for(CONFIG, "mcf", 200, fingerprint="f1")
+        cache.put(key, result, fingerprint="f1")
+        entry = cache.get(key)
+        assert entry is not None
+        assert run_result_to_dict(entry.result) == run_result_to_dict(result)
+        assert cache.stats.hits == 1
+        assert cache.stats.writes == 1
+
+    def test_chrome_json_round_trips(self, cache, result):
+        key = cache.key_for(CONFIG, "mcf", 200, fingerprint="f1")
+        cache.put(key, result, chrome_json='{"traceEvents":[]}',
+                  fingerprint="f1")
+        entry = cache.get(key)
+        assert entry.chrome_json == '{"traceEvents":[]}'
+
+    def test_unknown_key_is_a_miss(self, cache):
+        assert cache.get("00" * 32) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 0
+
+
+class TestKeying:
+    def test_fingerprint_is_part_of_the_key(self, cache):
+        old = cache.key_for(CONFIG, "mcf", 200, fingerprint="old")
+        new = cache.key_for(CONFIG, "mcf", 200, fingerprint="new")
+        assert old != new
+
+    def test_request_parameters_change_the_key(self, cache):
+        base = cache.key_for(CONFIG, "mcf", 200, fingerprint="f")
+        assert base != cache.key_for(CONFIG, "lbm", 200, fingerprint="f")
+        assert base != cache.key_for(CONFIG, "mcf", 201, fingerprint="f")
+        assert base != cache.key_for(CONFIG, "mcf", 200, trace_seed=3,
+                                     fingerprint="f")
+        assert base != cache.key_for(CONFIG, "mcf", 200, collect_trace=True,
+                                     fingerprint="f")
+
+    def test_config_contents_change_the_key(self, cache):
+        other = small_config(DesignPoint.FREECURSIVE, seed=99)
+        assert (cache.key_for(CONFIG, "mcf", 200, fingerprint="f") !=
+                cache.key_for(other, "mcf", 200, fingerprint="f"))
+
+    def test_same_request_same_key(self, cache):
+        assert (cache.key_for(CONFIG, "mcf", 200, fingerprint="f") ==
+                cache.key_for(CONFIG, "mcf", 200, fingerprint="f"))
+
+
+class TestCorruption:
+    def put_one(self, cache, result):
+        key = cache.key_for(CONFIG, "mcf", 200, fingerprint="f1")
+        path = cache.put(key, result, fingerprint="f1")
+        return key, path
+
+    def test_garbage_file_becomes_miss_and_is_deleted(self, cache, result):
+        key, path = self.put_one(cache, result)
+        with open(path, "w") as handle:
+            handle.write("not json {{{")
+        assert cache.get(key) is None
+        assert cache.stats.corruptions == 1
+        assert cache.stats.misses == 1
+        assert not os.path.exists(path)
+
+    def test_tampered_payload_fails_digest_check(self, cache, result):
+        key, path = self.put_one(cache, result)
+        with open(path) as handle:
+            entry = json.load(handle)
+        entry["result"]["execution_cycles"] += 1
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+        assert cache.get(key) is None
+        assert cache.stats.corruptions == 1
+        assert not os.path.exists(path)
+
+    def test_wrong_schema_rejected(self, cache, result):
+        key, path = self.put_one(cache, result)
+        with open(path) as handle:
+            entry = json.load(handle)
+        entry["schema"] = 999
+        with open(path, "w") as handle:
+            json.dump(entry, handle)
+        assert cache.get(key) is None
+        assert cache.stats.corruptions == 1
+
+    def test_heals_after_rewrite(self, cache, result):
+        key, path = self.put_one(cache, result)
+        with open(path, "w") as handle:
+            handle.write("garbage")
+        assert cache.get(key) is None
+        cache.put(key, result, fingerprint="f1")
+        assert cache.get(key) is not None
+
+
+class TestInvalidation:
+    def test_prune_stale_removes_old_fingerprints(self, cache, result):
+        old_key = cache.key_for(CONFIG, "mcf", 200, fingerprint="old")
+        new_key = cache.key_for(CONFIG, "mcf", 200, fingerprint="new")
+        cache.put(old_key, result, fingerprint="old")
+        cache.put(new_key, result, fingerprint="new")
+        assert cache.entry_count() == 2
+        assert cache.prune_stale("new") == 1
+        assert cache.entry_count() == 1
+        assert cache.get(new_key) is not None
+
+    def test_prune_on_missing_directory_is_noop(self, tmp_path):
+        cache = RunCache(str(tmp_path / "never-created"))
+        assert cache.prune_stale("f") == 0
+        assert cache.entry_count() == 0
+
+
+class TestDefaultDirectory:
+    def test_env_override_wins(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, "/somewhere/else")
+        assert default_cache_dir("/anchor") == "/somewhere/else"
+
+    def test_anchor_used_without_env(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert (default_cache_dir("/anchor") ==
+                os.path.join("/anchor", DEFAULT_CACHE_DIRNAME))
