@@ -11,6 +11,10 @@ Subcommands:
 * ``trace``    — generate a synthetic miss trace to a file.
 * ``audit-trace`` — replay runs with different address streams and check
   that the adversary-visible trace is indistinguishable (Section III-G).
+* ``faults``   — run a seeded fault-injection campaign against a secure
+  protocol and report detection / recovery / quarantine accounting
+  (``docs/faults.md``); exits non-zero if any injected integrity fault
+  escaped detection.
 * ``designs`` / ``workloads`` — list what is available.
 * ``lint``     — run reprolint, the repository's own static analyzer
   (obliviousness / constant-time / determinism invariants).
@@ -128,7 +132,7 @@ def cmd_audit_trace(args) -> int:
                                  audit_independent_protocol, run_full_audit)
 
     results = run_full_audit(misses=args.misses, accesses=args.accesses,
-                             seed=args.seed)
+                             seed=args.seed, with_faults=args.with_faults)
     if args.inject_leak:
         stream_a, stream_b = audit_address_streams(args.accesses,
                                                    seed=args.seed,
@@ -146,6 +150,64 @@ def cmd_audit_trace(args) -> int:
         print(f"{marker} {result.describe()}")
     print("audit sound" if sound else "audit UNSOUND", file=sys.stderr)
     return 0 if sound else 1
+
+
+def cmd_faults(args) -> int:
+    """Handle ``repro faults``.
+
+    Runs one seeded fault-injection campaign per requested (design, seed)
+    pair — through :func:`~repro.faults.run_campaign_sweep`, so points
+    run in parallel with ``--jobs`` and hit the persistent run cache —
+    and prints a detection/recovery summary.  Exit code 0 means every
+    campaign finished without a traceback *and* every applied integrity
+    fault was detected by a verifier; anything less is a 1.
+    """
+    from repro.faults import CampaignSpec, run_campaign_sweep
+
+    designs = (list(args.design) if args.design
+               else ["independent", "split", "indep-split"])
+    seeds = list(args.seeds) if args.seeds else [args.seed]
+    specs = [CampaignSpec(design=design, accesses=args.accesses,
+                          levels=args.levels, sites=args.sites, seed=seed,
+                          bit_flips=args.bit_flips, replays=args.replays,
+                          stuck_cells=args.stuck_cells,
+                          link_drops=args.link_drops,
+                          link_duplicates=args.link_duplicates,
+                          link_delays=args.link_delays,
+                          buffer_stalls=args.buffer_stalls,
+                          max_retries=args.retries)
+             for design in designs for seed in seeds]
+    reports = run_campaign_sweep(specs, jobs=args.jobs,
+                                 cache=_sweep_cache(args))
+    import json
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(reports, handle, sort_keys=True,
+                      separators=(",", ":"))
+            handle.write("\n")
+        print(f"wrote {len(reports)} campaign reports to {args.report}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    else:
+        print(f"{'design':12s} {'seed':>6s} {'inj':>4s} {'det':>4s} "
+              f"{'rate':>6s} {'retry':>6s} {'quar':>5s} {'status':>10s}")
+        for report in reports:
+            detection = report["detection"]["integrity"]
+            resilience = report["resilience"]
+            status = ("complete" if report["completed"]
+                      else "terminal")
+            print(f"{report['spec']['design']:12s} "
+                  f"{report['spec']['seed']:6d} "
+                  f"{detection['applied']:4d} {detection['detected']:4d} "
+                  f"{detection['rate']:6.2f} {resilience['retries']:6d} "
+                  f"{resilience['quarantines']:5d} {status:>10s}")
+    clean = all(report["all_detected"] for report in reports)
+    print("all injected integrity faults detected" if clean
+          else "UNDETECTED integrity faults escaped a verifier",
+          file=sys.stderr)
+    return 0 if clean else 1
 
 
 def _sweep_cache(args):
@@ -390,7 +452,44 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--inject-leak", action="store_true",
                        help="also run the LeakyLink fault injection and "
                             "require the audit to catch it")
+    audit.add_argument("--with-faults", action="store_true",
+                       help="also audit faulted runs: the same fault plan "
+                            "applied to two address streams must leave "
+                            "secure designs bus-indistinguishable")
     audit.set_defaults(handler=cmd_audit_trace)
+
+    faults = subparsers.add_parser(
+        "faults",
+        help="run seeded fault-injection campaigns and report "
+             "detection / recovery / quarantine accounting")
+    faults.add_argument("--design", action="append", default=None,
+                        choices=("independent", "split", "indep-split"),
+                        help="protocol to fault (repeatable; default: all)")
+    faults.add_argument("--accesses", type=int, default=64)
+    faults.add_argument("--levels", type=int, default=5)
+    faults.add_argument("--sites", type=int, default=2,
+                        help="SDIMM count (independent) or group count "
+                             "(indep-split)")
+    faults.add_argument("--seed", type=int, default=2018)
+    faults.add_argument("--seeds", type=int, nargs="+", default=None,
+                        metavar="N", help="sweep several seeds "
+                        "(overrides --seed)")
+    faults.add_argument("--bit-flips", type=int, default=2)
+    faults.add_argument("--replays", type=int, default=1)
+    faults.add_argument("--stuck-cells", type=int, default=0)
+    faults.add_argument("--link-drops", type=int, default=1)
+    faults.add_argument("--link-duplicates", type=int, default=1)
+    faults.add_argument("--link-delays", type=int, default=1)
+    faults.add_argument("--buffer-stalls", type=int, default=1)
+    faults.add_argument("--retries", type=int, default=3,
+                        help="retry budget per verified-failed read")
+    faults.add_argument("--report", default=None, metavar="FILE",
+                        help="write the canonical JSON campaign reports "
+                             "(byte-identical across replays)")
+    faults.add_argument("--json", action="store_true",
+                        help="emit machine-readable reports on stdout")
+    concurrency(faults)
+    faults.set_defaults(handler=cmd_faults)
 
     lint = subparsers.add_parser(
         "lint", help="run reprolint over source trees")

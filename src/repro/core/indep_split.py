@@ -195,10 +195,63 @@ class IndepSplitProtocol:
             for index in range(groups)
         ]
         leaf_count = self.groups[0].split.geometry.leaf_count * groups
+        self._global_leaf_count = leaf_count
         self.posmap = PositionMap(leaf_count, rng.child("posmap"))
         self.link = LinkRecorder(enabled=record_link, tracer=tracer,
                                  lane="indep-split-link", clock=self.clock)
         self.accesses = 0
+        self._seed = seed
+        #: Groups whose retry budget was exhausted (see IndependentProtocol).
+        self.quarantined: set = set()
+        self._degraded_rng: Optional[DeterministicRng] = None
+        self.degraded_accesses = 0
+        self.lost_appends = 0
+
+    # ------------------------------------------------------------------
+    # Fault-injection / resilience seams (repro.faults)
+    # ------------------------------------------------------------------
+
+    def attach_resilience(self, handle) -> None:
+        """Install one retry policy handle on every group's Split core."""
+        for group in self.groups:
+            group.split.attach_resilience(handle)
+
+    def quarantine(self, group_id: int) -> None:
+        """Mark a whole split group failed: its accesses run degraded."""
+        self.quarantined.add(group_id)
+
+    def _degraded(self) -> DeterministicRng:
+        # Lazy for the same reason as IndependentProtocol._degraded: an
+        # eager rng would consume parent entropy and shift every stream.
+        if self._degraded_rng is None:
+            self._degraded_rng = DeterministicRng(self._seed,
+                                                  "indep-split/degraded")
+        return self._degraded_rng
+
+    def _degraded_access(self, address: int, owner: int) -> bytes:
+        """Quarantined-group access: normal link shape, zeroes served."""
+        self.degraded_accesses += 1
+        lane = "indep-split"
+        traced = self.tracer.enabled
+        start = self.clock.now
+        self.link.up(SdimmCommand.ACCESS, owner, self.block_bytes)
+        new_leaf = self._degraded().random_leaf(self._global_leaf_count)
+        self.posmap.set(address, new_leaf)
+        if traced:
+            self.tracer.span("ACCESS", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
+        start = self.clock.now
+        self.link.down(SdimmCommand.FETCH_RESULT, owner, self.block_bytes)
+        if traced:
+            self.tracer.span("FETCH_RESULT", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
+        start = self.clock.now
+        for index in range(len(self.groups)):
+            self.link.up(SdimmCommand.APPEND, index, self.block_bytes)
+        if traced:
+            self.tracer.span("APPEND", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
+        return bytes(self.block_bytes)
 
     # ------------------------------------------------------------------
 
@@ -218,6 +271,8 @@ class IndepSplitProtocol:
         self.accesses += 1
         old_leaf = self.posmap.lookup(address)
         owner = self.groups[0].owner_of(old_leaf)
+        if owner in self.quarantined:  # reprolint: disable=SEC002 -- a failed group is physically observable; the degraded path emits the identical link shape
+            return self._degraded_access(address, owner)
         traced = self.tracer.enabled
         lane = "indep-split"
 
@@ -241,6 +296,10 @@ class IndepSplitProtocol:
                        if index == new_owner and outcome.moved_block
                        else None)
             self.link.up(SdimmCommand.APPEND, index, self.block_bytes)
+            if index in self.quarantined:
+                if payload is not None:
+                    self.lost_appends += 1
+                continue
             group.append(payload)
         if traced:
             self.tracer.span("APPEND", CATEGORY_PROTOCOL, lane, start,

@@ -212,10 +212,89 @@ class IndependentProtocol:
         ]
         global_leaf_count = (self.sdimms[0].oram.geometry.leaf_count *
                              sdimm_count)
+        self._global_leaf_count = global_leaf_count
         self.posmap = PositionMap(global_leaf_count, rng.child("posmap"))
         self.link = LinkRecorder(enabled=record_link, tracer=tracer,
                                  lane="independent-link", clock=self.clock)
         self.accesses = 0
+        self._seed = seed
+        #: SDIMMs whose retry budget was exhausted: their accesses degrade
+        #: to link-shape-preserving zero reads instead of crashing the run.
+        self.quarantined: set = set()
+        self._degraded_rng: Optional[DeterministicRng] = None
+        self.degraded_accesses = 0
+        self.lost_appends = 0
+
+    # ------------------------------------------------------------------
+    # Fault-injection / resilience seams (repro.faults)
+    # ------------------------------------------------------------------
+
+    def wrap_stores(self, wrapper) -> None:
+        """Replace each SDIMM's bucket store with ``wrapper(sdimm_id, store)``.
+
+        Only meaningful when the buffers encrypt (a ``PlainBucketStore``
+        has no adversarial surface); plain stores are wrapped all the same
+        so retry accounting stays uniform.
+        """
+        for index, sdimm in enumerate(self.sdimms):
+            sdimm.oram.store = wrapper(index, sdimm.oram.store)
+
+    def wrap_link(self, wrapper) -> None:
+        """Replace the link recorder with ``wrapper(link)`` (fault proxy)."""
+        self.link = wrapper(self.link)
+
+    def quarantine(self, sdimm_id: int) -> None:
+        """Mark an SDIMM failed: later accesses to it run degraded."""
+        self.quarantined.add(sdimm_id)
+
+    def _degraded(self) -> DeterministicRng:
+        # Built lazily from the stored seed: DeterministicRng.child() draws
+        # entropy from the parent stream, so creating this eagerly in the
+        # constructor would perturb every existing stream and break
+        # zero-fault byte-identity with pre-resilience runs.
+        if self._degraded_rng is None:
+            self._degraded_rng = DeterministicRng(self._seed,
+                                                  "independent/degraded")
+        return self._degraded_rng
+
+    def _degraded_access(self, address: int, owner: int) -> bytes:
+        """Serve an access whose owner is quarantined.
+
+        Emits the exact link shape of a healthy access — ACCESS, PROBE,
+        FETCH_RESULT up/down, one APPEND per SDIMM — so a bus adversary
+        cannot tell a degraded access from a normal one; the data served
+        is zeroes and the block is remapped without migration.
+        """
+        self.degraded_accesses += 1
+        lane = "independent"
+        traced = self.tracer.enabled
+        start = self.clock.now
+        self.link.up(SdimmCommand.ACCESS, owner, self.block_bytes)
+        new_leaf = self._degraded().random_leaf(self._global_leaf_count)
+        self.posmap.set(address, new_leaf)
+        if traced:
+            self.tracer.span("ACCESS", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
+        start = self.clock.now
+        self.link.up(SdimmCommand.PROBE, owner, 0)
+        if traced:
+            self.tracer.span("PROBE", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
+        start = self.clock.now
+        self.link.up(SdimmCommand.FETCH_RESULT, owner, 0)
+        self.link.down(SdimmCommand.FETCH_RESULT, owner, self.block_bytes)
+        if traced:
+            self.tracer.span("FETCH_RESULT", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
+        start = self.clock.now
+        for index in range(len(self.sdimms)):
+            # Broadcast shape only: there is no migrated block to deliver,
+            # and a dummy APPEND is a no-op inside every buffer.
+            self.link.up(SdimmCommand.APPEND, index, self.block_bytes)
+        if traced:
+            self.tracer.span("APPEND", CATEGORY_PROTOCOL, lane, start,
+                             max(start + 1, self.clock.now))
+        return bytes(self.block_bytes)
 
     # ------------------------------------------------------------------
 
@@ -227,6 +306,8 @@ class IndependentProtocol:
         self.accesses += 1
         old_leaf = self.posmap.lookup(address)
         owner = self.sdimms[0].owner_of(old_leaf)
+        if owner in self.quarantined:  # reprolint: disable=SEC002 -- a failed DIMM is physically observable; the degraded path emits the identical link shape
+            return self._degraded_access(address, owner)
         traced = self.tracer.enabled
         lane = "independent"
 
@@ -263,6 +344,13 @@ class IndependentProtocol:
                        if index == new_owner and outcome.moved_block
                        else None)
             self.link.up(SdimmCommand.APPEND, index, self.block_bytes)
+            if index in self.quarantined:
+                # The wire still carries the APPEND (shape preserved); the
+                # dead buffer just cannot absorb it.  A real migrated block
+                # landing here is lost — recorded, not raised.
+                if payload is not None:
+                    self.lost_appends += 1
+                continue
             sdimm.append(payload)
         if traced:
             self.tracer.span("APPEND", CATEGORY_PROTOCOL, lane, start,

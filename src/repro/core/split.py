@@ -60,7 +60,20 @@ _DUMMY_TAG = (1 << 64) - 1
 
 
 class SplitIntegrityError(Exception):
-    """A slice failed its per-SDIMM MAC."""
+    """A slice failed its per-SDIMM MAC or desynchronized the counter chain.
+
+    Structured fields mirror :class:`repro.oram.integrity.IntegrityError`
+    so failure records treat both uniformly: ``bucket`` is the logical
+    bucket index, ``way`` the SDIMM slice that failed (None for merged
+    checks), ``kind`` is ``"mac"`` or ``"counter"``.
+    """
+
+    def __init__(self, message: str, bucket: Optional[int] = None,
+                 way: Optional[int] = None, kind: str = "mac"):
+        super().__init__(message)
+        self.bucket = bucket
+        self.way = way
+        self.kind = kind
 
 
 #: Bit width of the shared bucket counter whose slices the SDIMMs store.
@@ -173,7 +186,10 @@ class SplitBuffer:
             self._mac.verify(self._mac_index(bucket), cell.counter_slice,
                              payload, cell.mac)
         except MacError as error:
-            raise SplitIntegrityError(str(error)) from error
+            raise SplitIntegrityError(
+                f"bucket {bucket} slice failed its way-{self.way} MAC: "
+                f"{error}", bucket=bucket, way=self.way,
+                kind="mac") from error
         return cell.counter_slice, cell.metadata_ciphertext
 
     def _mac_index(self, bucket: int) -> int:
@@ -269,6 +285,22 @@ class SplitBuffer:
         first = cell.data_ciphertexts[0]
         cell.data_ciphertexts[0] = bytes([first[0] ^ 1]) + first[1:]
 
+    def snapshot_bucket(self, bucket: int) -> Optional[_StoreCell]:
+        """Copy one bucket's raw cell (fault-injection save point)."""
+        cell = self._store.get(bucket)
+        if cell is None:
+            return None
+        return _StoreCell(cell.counter_slice, cell.metadata_ciphertext,
+                          list(cell.data_ciphertexts), cell.mac)
+
+    def restore_bucket(self, bucket: int,
+                       cell: Optional[_StoreCell]) -> None:
+        """Put back a snapshot (a transient fault healing on re-read)."""
+        if cell is None:
+            self._store.pop(bucket, None)
+        else:
+            self._store[bucket] = cell
+
     @property
     def stash_occupancy(self) -> int:
         return len(self.stash)
@@ -315,6 +347,14 @@ class SplitProtocol:
                                  lane=f"{trace_lane}-link", clock=self.clock)
         self.accesses = 0
         self.stash_peak = 0
+        #: Optional resilience handle (repro.faults.recovery) consulted when
+        #: a metadata merge fails verification; None = fail fast (today's
+        #: behavior, byte-identical when no handle is attached).
+        self.resilience = None
+
+    def attach_resilience(self, handle) -> None:
+        """Install a retry/backoff policy for failed metadata merges."""
+        self.resilience = handle
 
     # ------------------------------------------------------------------
 
@@ -360,7 +400,7 @@ class SplitProtocol:
         start = self.clock.now
         old_counters: Dict[int, int] = {}
         for bucket in path:
-            metadata = self._merge_metadata(bucket)
+            metadata = self._read_bucket_metadata(bucket)
             old_counters[bucket] = metadata.counter
             for slot in range(self.blocks_per_bucket):
                 tag = metadata.tags[slot]
@@ -437,7 +477,7 @@ class SplitProtocol:
         start = self.clock.now
         old_counters: Dict[int, int] = {}
         for bucket in path:
-            metadata = self._merge_metadata(bucket)
+            metadata = self._read_bucket_metadata(bucket)
             old_counters[bucket] = metadata.counter
             for slot in range(self.blocks_per_bucket):
                 tag = metadata.tags[slot]
@@ -460,6 +500,29 @@ class SplitProtocol:
         self.stash_peak = max(self.stash_peak, len(self.shadow))
 
     # ------------------------------------------------------------------
+
+    def _read_bucket_metadata(self, bucket: int) -> BucketMetadata:
+        """Merge one bucket's metadata, retrying on verification failure.
+
+        Without a resilience handle this is exactly ``_merge_metadata`` —
+        the first failure propagates.  With one, each failed merge is
+        reported to the handle, which decides (by retry budget and backoff)
+        whether to re-issue the metadata read.  A retry replays the same
+        per-way link events as the original read, so on the bus it is
+        indistinguishable from any other metadata fetch.
+        """
+        handle = self.resilience
+        if handle is None:
+            return self._merge_metadata(bucket)
+        attempt = 0
+        while True:
+            try:
+                return self._merge_metadata(bucket)
+            except SplitIntegrityError as error:
+                attempt += 1
+                if not handle.on_integrity_failure("split", bucket, error,
+                                                   attempt):
+                    raise
 
     def _merge_metadata(self, bucket: int) -> BucketMetadata:
         """Reassemble one bucket's metadata from every way's slice.
@@ -484,7 +547,7 @@ class SplitProtocol:
             raise SplitIntegrityError(
                 f"bucket {bucket} counter {counter} does not match the "
                 f"trusted chain ({expected}): stale or desynchronized "
-                f"slices")
+                f"slices", bucket=bucket, kind="counter")
         metadata_slices = []
         for buffer, ciphertext in zip(self.buffers, ciphertexts):
             if ciphertext is None:

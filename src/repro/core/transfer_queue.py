@@ -23,7 +23,16 @@ from repro.utils.rng import DeterministicRng
 
 
 class TransferQueueOverflow(Exception):
-    """Raised when an APPEND arrives at a full transfer queue."""
+    """Raised when an APPEND arrives at a full transfer queue.
+
+    Carries ``capacity`` / ``occupancy`` so failure records
+    (:mod:`repro.faults`) can preserve the terminal queue state.
+    """
+
+    def __init__(self, message: str, capacity: int = 0, occupancy: int = 0):
+        super().__init__(message)
+        self.capacity = capacity
+        self.occupancy = occupancy
 
 
 class TransferQueue:
@@ -78,7 +87,8 @@ class TransferQueue:
         if len(self._queue) >= self.capacity:
             self.overflows += 1
             raise TransferQueueOverflow(
-                f"transfer queue full at capacity {self.capacity}")
+                f"transfer queue full at capacity {self.capacity}",
+                capacity=self.capacity, occupancy=len(self._queue))
         self._queue.append(block)
         self.arrivals += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._queue))

@@ -1,0 +1,44 @@
+"""Deterministic fault injection and the resilience machinery it exercises.
+
+The paper's security argument is a *detection* argument: PMMAC and the
+Merkle mirror catch tampering and replay.  This package adds the layer a
+deployable system needs on top — what happens *after* detection:
+
+* :mod:`repro.faults.plan` — :class:`FaultPlan`, a seeded, serializable
+  schedule of faults (bit-flips, replays, stuck cells, link drops/
+  duplicates/delays, buffer stalls) that replays byte-identically;
+* :mod:`repro.faults.injector` — applies a plan against live protocol
+  state through the existing adversarial hooks (``tamper``/``replay``/
+  ``snapshot``), healing transient faults so retries can succeed;
+* :mod:`repro.faults.recovery` — retry budgets, bounded exponential
+  backoff with deterministic jitter, quarantine on exhaustion, and the
+  structured failure records that replace tracebacks;
+* :mod:`repro.faults.campaign` — seeded end-to-end campaigns over the
+  Independent / Split / INDEP-SPLIT protocols, sweepable through
+  :mod:`repro.parallel` with results cached by plan digest.
+"""
+
+from repro.faults.campaign import (CampaignOutcome, CampaignSpec,
+                                   campaign_cache_key, run_campaign,
+                                   run_campaign_sweep)
+from repro.faults.injector import FaultInjector, FaultyStore, SplitFaultDriver
+from repro.faults.plan import (FAULT_BIT_FLIP, FAULT_BUFFER_STALL,
+                               FAULT_LINK_DELAY, FAULT_LINK_DROP,
+                               FAULT_LINK_DUPLICATE, FAULT_REPLAY,
+                               FAULT_STUCK_CELL, INTEGRITY_KINDS, LINK_KINDS,
+                               FaultPlan, FaultSpec)
+from repro.faults.recovery import (ResilienceStats, ResilientLink,
+                                   RetryExhaustedError, RetryPolicy,
+                                   RetryingStore, SplitResilienceHandle)
+
+__all__ = [
+    "CampaignOutcome", "CampaignSpec", "campaign_cache_key",
+    "run_campaign", "run_campaign_sweep",
+    "FaultInjector", "FaultyStore", "SplitFaultDriver",
+    "FaultPlan", "FaultSpec",
+    "FAULT_BIT_FLIP", "FAULT_REPLAY", "FAULT_STUCK_CELL",
+    "FAULT_LINK_DROP", "FAULT_LINK_DUPLICATE", "FAULT_LINK_DELAY",
+    "FAULT_BUFFER_STALL", "INTEGRITY_KINDS", "LINK_KINDS",
+    "ResilienceStats", "ResilientLink", "RetryExhaustedError",
+    "RetryPolicy", "RetryingStore", "SplitResilienceHandle",
+]

@@ -380,12 +380,137 @@ def audit_freecursive_protocol(addresses_a: Sequence[int],
 
 
 # ----------------------------------------------------------------------
+# Faulted audits (repro.faults): retries must look like re-accesses
+# ----------------------------------------------------------------------
+
+def _drive_faulted_protocol(spec, plan, addresses: Sequence[int]) -> List:
+    """One faulted run over an address stream; returns link shapes.
+
+    Exhausted retry budgets quarantine where the design allows it (the
+    degraded path emits the normal per-access shape) and otherwise end
+    the run — the plan, not the addresses, decides where, so both audit
+    streams truncate at the same access.
+    """
+    from repro.faults.campaign import _active_sites, build_faulted_protocol
+    from repro.faults.recovery import RetryExhaustedError
+
+    protocol, injector, driver, _ = build_faulted_protocol(spec, plan)
+    for index, address in enumerate(addresses):
+        injector.begin_access(index)
+        if driver is not None:
+            driver.arm(index,
+                       active_sites=_active_sites(spec, protocol, address))
+        try:
+            protocol.read(address)
+        except RetryExhaustedError as error:
+            if hasattr(protocol, "quarantine"):
+                protocol.quarantine(error.site)
+                continue
+            break
+    return list(protocol.link.shapes())
+
+
+def audit_faulted_protocol(design: str,
+                           addresses_a: Sequence[int],
+                           addresses_b: Sequence[int],
+                           levels: int = 6, sites: int = 2,
+                           seed: int = 2018,
+                           bit_flips: int = 2, replays: int = 1,
+                           link_drops: int = 1, link_duplicates: int = 1,
+                           link_delays: int = 1) -> AuditResult:
+    """Link-shape audit of a protocol under an identical fault plan.
+
+    The resilience claim of :mod:`repro.faults`: injected faults and the
+    retries they provoke must not make a secure design's bus traffic
+    address-distinguishable.  Faults are scheduled positionally (access
+    index + operation ordinal, never address or leaf), and a retry
+    re-issues the same messages a fresh fetch would — so two different
+    address streams under the *same* plan must still produce identical
+    link-shape sequences.
+    """
+    from repro.faults.campaign import CampaignSpec
+
+    spec = CampaignSpec(design=design, accesses=len(addresses_a),
+                        levels=levels, sites=sites, seed=seed,
+                        bit_flips=bit_flips, replays=replays,
+                        link_drops=link_drops,
+                        link_duplicates=link_duplicates,
+                        link_delays=link_delays)
+    plan = spec.build_plan()
+    shapes = [_drive_faulted_protocol(spec, plan, stream)
+              for stream in (addresses_a, addresses_b)]
+    return compare_observables(f"faulted:{design}", "link-shape",
+                               shapes[0], shapes[1])
+
+
+def audit_timing_design_with_stalls(design, misses: int = 12,
+                                    channels: int = 1, seed: int = 2018,
+                                    gap_cycles: int = 4000,
+                                    stalls: Sequence[Tuple[int, int]] = (
+                                        (2_000, 600), (9_000, 900)),
+                                    ) -> AuditResult:
+    """Timing-tier audit with an identical bus-stall schedule injected.
+
+    A transient SDIMM buffer stall occupies the link bus for a fixed
+    interval.  The schedule is positional (absolute cycles), so injecting
+    it into both runs shifts every subsequent reservation identically —
+    the adversary traces must stay byte-exact for secure designs.
+    """
+    from repro.config import DesignPoint
+
+    if isinstance(design, str):
+        design = DesignPoint(design)
+    violations: List[str] = []
+    keyed = []
+    for stream in audit_address_streams(misses, seed=seed):
+        observed = _collect_stalled_observations(design, stream,
+                                                 channels=channels,
+                                                 seed=seed,
+                                                 gap_cycles=gap_cycles,
+                                                 stalls=stalls)
+        violations.extend(scan_secret_args(observed))
+        keyed.append([event.key() for event in observed])
+    return compare_observables(f"timing+stalls:{design.value}", "adversary",
+                               keyed[0], keyed[1],
+                               secret_violations=violations)
+
+
+def _collect_stalled_observations(design, addresses: Sequence[int],
+                                  channels: int, seed: int,
+                                  gap_cycles: int,
+                                  stalls: Sequence[Tuple[int, int]]
+                                  ) -> List[TraceEvent]:
+    from repro.config import table2_config
+    from repro.oram.plb import PlbFrontend
+    from repro.sim.events import EventQueue
+    from repro.sim.system import build_backend
+
+    config = table2_config(design, channels=channels, seed=seed)
+    tracer = CollectingTracer()
+    events = EventQueue()
+    backend = build_backend(config, events, tracer=tracer)
+    backend.frontend = PlbFrontend(config.oram, enabled=False)
+    for bus in getattr(backend, "buses", []):
+        for start, cycles in stalls:
+            bus.inject_stall(start, cycles)
+    for index, address in enumerate(addresses):
+        arrival = index * gap_cycles
+        events.at(arrival,
+                  lambda a=address, t=arrival: backend.submit(
+                      a, t, is_write=False))
+    events.run()
+    backend.finalize(events.now)
+    return adversary_observations(tracer.events)
+
+
+# ----------------------------------------------------------------------
 # The full audit the CLI runs
 # ----------------------------------------------------------------------
 
 def run_full_audit(misses: int = 12, accesses: int = 48,
                    seed: int = 2018,
-                   include_negative_control: bool = True) -> List[AuditResult]:
+                   include_negative_control: bool = True,
+                   with_faults: bool = False) -> List[AuditResult]:
     """Audit every Figure-8 design at both tiers.
 
     Timing tier: freecursive / indep-2 / split-2 must show byte-identical
@@ -393,7 +518,11 @@ def run_full_audit(misses: int = 12, accesses: int = 48,
     observables must match.  With ``include_negative_control``, the
     non-secure baseline is audited too and *expected* to fail — its result
     is returned with the name prefix ``negative-control:`` so callers
-    treat distinguishability as the success condition.
+    treat distinguishability as the success condition.  With
+    ``with_faults``, the faulted variants run too: the same designs under
+    an identical seeded fault plan (and a fixed bus-stall schedule at the
+    timing tier) must remain indistinguishable — retries have to look
+    like normal re-accesses.
     """
     from repro.config import DesignPoint
 
@@ -409,6 +538,18 @@ def run_full_audit(misses: int = 12, accesses: int = 48,
         audit_split_protocol(stream_a, stream_b, seed=seed),
         audit_indep_split_protocol(stream_a, stream_b, seed=seed),
     ]
+    if with_faults:
+        results.extend([
+            audit_faulted_protocol("independent", stream_a, stream_b,
+                                   seed=seed),
+            audit_faulted_protocol("split", stream_a, stream_b, seed=seed),
+            audit_faulted_protocol("indep-split", stream_a, stream_b,
+                                   levels=7, seed=seed),
+            audit_timing_design_with_stalls(DesignPoint.INDEP_2,
+                                            misses=misses, seed=seed),
+            audit_timing_design_with_stalls(DesignPoint.SPLIT_2,
+                                            misses=misses, seed=seed),
+        ])
     if include_negative_control:
         control = audit_timing_design(DesignPoint.NONSECURE, misses=misses,
                                       seed=seed)

@@ -32,6 +32,10 @@ CATEGORY_DRAM = "dram"
 CATEGORY_BUS = "bus"
 CATEGORY_LINK = "link"
 CATEGORY_STASH = "stash"
+#: Fault-injection bookkeeping (repro.faults).  Deliberately outside the
+#: adversary-visible set: injections and retries are simulator metadata,
+#: and the audit must prove the *observable* categories stay identical.
+CATEGORY_FAULT = "fault"
 
 
 class TraceEvent:

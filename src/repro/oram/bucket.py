@@ -48,6 +48,14 @@ class Bucket:
     def blocks(self) -> List[Block]:
         return [slot for slot in self.slots if slot is not None]
 
+    def copy(self) -> "Bucket":
+        """Deep copy: slot blocks are copied so callers cannot alias state."""
+        duplicate = Bucket(self.capacity, self.block_bytes)
+        duplicate.slots = [slot.copy() if slot is not None else None
+                           for slot in self.slots]
+        duplicate.counter = self.counter
+        return duplicate
+
     def insert(self, block: Block) -> None:
         """Place a block in the first free slot.
 

@@ -11,6 +11,14 @@ trusted chain directly as an on-controller counter mirror: the simulation
 equivalent is exact (a replayed stale bucket fails verification because the
 controller expects a newer counter), without re-deriving counters through
 the recursion on every access.
+
+Both stores honour the same contract so they are *observationally
+equivalent* and interchangeable under :class:`~repro.oram.path_oram.PathOram`:
+
+* ``read`` returns a bucket the caller owns outright — mutating it never
+  reaches the store without an explicit ``write``;
+* ``write`` never mutates the caller's bucket — the write counter is
+  trusted controller state, tracked internally.
 """
 
 from __future__ import annotations
@@ -23,7 +31,25 @@ from repro.oram.bucket import Bucket
 
 
 class IntegrityError(Exception):
-    """Raised when untrusted memory returns a bucket that fails PMMAC."""
+    """Raised when untrusted memory returns a bucket that fails PMMAC.
+
+    Carries structured fields so failure records and resilience policies
+    (:mod:`repro.faults`) can act on *what* failed, not a message string:
+
+    * ``index`` — the bucket index whose verification failed;
+    * ``expected_counter`` — the trusted counter the verifier demanded;
+    * ``kind`` — one of ``"mac"`` (tag mismatch: tampering, relocation, or
+      replay), ``"missing"`` (a written cell vanished from memory),
+      ``"hash"``/``"root"`` (Merkle path/root mismatch).
+    """
+
+    def __init__(self, message: str, index: Optional[int] = None,
+                 expected_counter: Optional[int] = None,
+                 kind: str = "mac"):
+        super().__init__(message)
+        self.index = index
+        self.expected_counter = expected_counter
+        self.kind = kind
 
 
 class PlainBucketStore:
@@ -35,23 +61,35 @@ class PlainBucketStore:
         self.bucket_capacity = bucket_capacity
         self.block_bytes = block_bytes
         self._buckets: Dict[int, Bucket] = {}
+        self._counters: Dict[int, int] = {}
         self.reads = 0
         self.writes = 0
 
     def read(self, index: int) -> Bucket:
+        """Return a *copy* of the stored bucket (never the live object).
+
+        The encrypted store deserializes a fresh bucket on every read, so
+        returning the stored object by reference here would make the two
+        stores observably different: caller mutations would leak into the
+        plain store without a ``write``.  The copy keeps them equivalent.
+        """
         self._check(index)
         self.reads += 1
         bucket = self._buckets.get(index)
         if bucket is None:
-            bucket = Bucket(self.bucket_capacity, self.block_bytes)
-            self._buckets[index] = bucket
-        return bucket
+            fresh = Bucket(self.bucket_capacity, self.block_bytes)
+            fresh.counter = self._counters.get(index, 0)
+            return fresh
+        restored = bucket.copy()
+        restored.counter = self._counters.get(index, 0)
+        return restored
 
     def write(self, index: int, bucket: Bucket) -> None:
+        """Snapshot the bucket; the caller's object is left untouched."""
         self._check(index)
         self.writes += 1
-        bucket.counter += 1
-        self._buckets[index] = bucket
+        self._counters[index] = self._counters.get(index, 0) + 1
+        self._buckets[index] = bucket.copy()
 
     def _check(self, index: int) -> None:
         if not 0 <= index < self.bucket_count:
@@ -86,7 +124,8 @@ class EncryptedBucketStore:
 
         Raises:
             IntegrityError: on any MAC mismatch (tampering, relocation, or
-                replay of a stale version).
+                replay of a stale version), with ``index`` /
+                ``expected_counter`` / ``kind`` attached.
         """
         self._check(index)
         self.reads += 1
@@ -94,15 +133,20 @@ class EncryptedBucketStore:
         cell = self._cells.get(index)
         if cell is None:
             if counter:
-                raise IntegrityError(f"bucket {index} missing from memory "
-                                     f"but written {counter} times")
+                raise IntegrityError(
+                    f"bucket {index} missing from memory but written "
+                    f"{counter} times", index=index,
+                    expected_counter=counter, kind="missing")
             return Bucket(self.bucket_capacity, self.block_bytes)
         ciphertext, tag = cell
         self.verifications += 1
         try:
             self._mac.verify(index, counter, ciphertext, tag)
         except MacError as error:
-            raise IntegrityError(str(error)) from error
+            raise IntegrityError(
+                f"bucket {index} failed PMMAC against trusted counter "
+                f"{counter}: {error}", index=index,
+                expected_counter=counter, kind="mac") from error
         plaintext = self._cipher.decrypt(ciphertext, index, counter)
         bucket = Bucket.deserialize(plaintext, self.bucket_capacity,
                                     self.block_bytes)
@@ -110,12 +154,16 @@ class EncryptedBucketStore:
         return bucket
 
     def write(self, index: int, bucket: Bucket) -> None:
-        """Re-encrypt under a bumped counter and store with a fresh tag."""
+        """Re-encrypt under a bumped counter and store with a fresh tag.
+
+        The bumped counter is trusted controller state; the caller's bucket
+        object — which the stash or an outer protocol may still hold — is
+        not mutated.
+        """
         self._check(index)
         self.writes += 1
         counter = self._expected_counters.get(index, 0) + 1
         self._expected_counters[index] = counter
-        bucket.counter = counter
         plaintext = bucket.serialize()
         ciphertext = self._cipher.encrypt(plaintext, index, counter)
         tag = self._mac.tag(index, counter, ciphertext)

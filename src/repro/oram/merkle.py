@@ -91,10 +91,14 @@ class MerkleBucketStore:
             if not hmac.compare_digest(self._compute_hash(node),
                                        self._node_hash(node)):
                 raise IntegrityError(
-                    f"Merkle hash mismatch at node {node}")
+                    f"Merkle hash mismatch at node {node} "
+                    f"(verifying bucket {index})",
+                    index=index, kind="hash")
             if node == 0:
                 if not hmac.compare_digest(self._node_hash(0), self._root):
-                    raise IntegrityError("Merkle root mismatch (replay?)")
+                    raise IntegrityError(
+                        f"Merkle root mismatch verifying bucket {index} "
+                        f"(replay?)", index=index, kind="root")
                 return
             node = self.geometry.parent(node)
 
@@ -129,11 +133,15 @@ class MerkleBucketStore:
         return bucket
 
     def write(self, index: int, bucket: Bucket) -> None:
+        """Encrypt under a bumped counter, store, rehash to the root.
+
+        The counter lives in the untrusted cell (the hash path authenticates
+        it); the caller's bucket object is never mutated.
+        """
         self._check(index)
         self.writes += 1
         counter = (self._cells[index][0] + 1 if index in self._cells
                    else 1)
-        bucket.counter = counter
         ciphertext = self._cipher.encrypt(bucket.serialize(), index,
                                           counter)
         self._cells[index] = (counter, ciphertext)

@@ -21,7 +21,16 @@ from repro.utils.rng import DeterministicRng
 
 
 class StashOverflowError(Exception):
-    """Raised when the stash exceeds capacity and eviction cannot drain it."""
+    """Raised when the stash exceeds capacity and eviction cannot drain it.
+
+    Carries ``occupancy`` / ``capacity`` so failure records
+    (:mod:`repro.faults`) can report how far over budget the stash was.
+    """
+
+    def __init__(self, message: str, occupancy: int = 0, capacity: int = 0):
+        super().__init__(message)
+        self.occupancy = occupancy
+        self.capacity = capacity
 
 
 class Op(enum.Enum):
@@ -188,14 +197,17 @@ class PathOram:
         if not self.background_eviction:
             raise StashOverflowError(
                 f"stash holds {len(self.stash)} blocks, "
-                f"capacity {self.stash.capacity}")
+                f"capacity {self.stash.capacity}",
+                occupancy=len(self.stash), capacity=self.stash.capacity)
         # Background eviction [Ren et al.]: dummy accesses drain the stash.
         attempts = 0
         while self.stash.over_capacity:
             attempts += 1
             if attempts > 64:
                 raise StashOverflowError(
-                    "background eviction failed to drain the stash")
+                    "background eviction failed to drain the stash",
+                    occupancy=len(self.stash),
+                    capacity=self.stash.capacity)
             self.background_evictions += 1
             leaf = self.rng.random_leaf(self.geometry.leaf_count)
             self._read_path(leaf)
@@ -230,6 +242,6 @@ class PathOram:
         return False
 
     def _restore(self, bucket_index: int, bucket: Bucket) -> None:
-        # PlainBucketStore.read returns live objects, so nothing to restore;
-        # encrypted stores re-read on demand.  Kept for symmetry.
+        # Every store hands out copies on read, so an un-written read never
+        # perturbs stored state — nothing to restore.  Kept for symmetry.
         pass

@@ -190,6 +190,73 @@ class RunCache:
         self.stats.writes += 1
         return path
 
+    # -- generic JSON payloads (fault campaigns and friends) -----------
+
+    def get_json(self, key: str) -> Optional[Dict[str, object]]:
+        """Fetch a generic JSON payload stored with :meth:`put_json`.
+
+        Same durability contract as :meth:`get`: schema, key, and digest
+        are all verified; anything off becomes a miss and the entry is
+        deleted so the rewrite heals it.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r") as handle:
+                entry = json.load(handle)
+            if entry.get("schema") != SCHEMA_VERSION:
+                raise ValueError("unknown cache schema")
+            if entry.get("key") != key:
+                raise ValueError("entry/key mismatch")
+            payload = entry["payload"]
+            if not hmac.compare_digest(
+                    hashlib.sha256(canonical_json(payload).encode())
+                    .hexdigest(),
+                    str(entry.get("digest"))):
+                raise ValueError("payload digest mismatch")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError, json.JSONDecodeError):
+            self.stats.corruptions += 1
+            self.stats.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put_json(self, key: str, payload: Dict[str, object],
+                 fingerprint: Optional[str] = None) -> str:
+        """Store a generic JSON payload atomically; returns the path."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "key": key,
+            "fingerprint": fingerprint if fingerprint is not None
+            else code_fingerprint(),
+            "digest": hashlib.sha256(
+                canonical_json(payload).encode()).hexdigest(),
+            "payload": payload,
+        }
+        handle, temp_path = tempfile.mkstemp(
+            dir=os.path.dirname(path), suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(entry, stream, sort_keys=True,
+                          separators=(",", ":"))
+            os.replace(temp_path, path)
+        except BaseException:
+            try:
+                os.remove(temp_path)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
     # -- maintenance ---------------------------------------------------
 
     def prune_stale(self, fingerprint: Optional[str] = None) -> int:

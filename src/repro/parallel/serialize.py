@@ -67,6 +67,7 @@ def run_result_to_dict(result: RunResult) -> Dict[str, object]:
                              for entry in result.rank_residencies],
         "phase_cycles": dict(result.phase_cycles),
         "extras": dict(result.extras),
+        "failures": [dict(record) for record in result.failures],
     }
 
 
@@ -95,6 +96,9 @@ def run_result_from_dict(payload: Dict[str, object]) -> RunResult:
         phase_cycles={str(k): int(v)
                       for k, v in payload["phase_cycles"].items()},
         extras={str(k): float(v) for k, v in payload["extras"].items()},
+        # tolerant default: entries written before the resilience layer
+        # landed have no failures field (and were clean by construction)
+        failures=[dict(record) for record in payload.get("failures", [])],
     )
 
 

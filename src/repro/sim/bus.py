@@ -37,6 +37,8 @@ class LinkBus:
         self.line_transfers = 0
         self.command_slots = 0
         self.busy_cycles = 0
+        self.stall_cycles = 0
+        self.stalls_injected = 0
 
     # ------------------------------------------------------------------
 
@@ -71,6 +73,24 @@ class LinkBus:
         if self.tracer.enabled:
             self.tracer.instant("command", CATEGORY_BUS, self.name, slot)
         return slot
+
+    def inject_stall(self, start: int, cycles: int) -> Tuple[int, int]:
+        """Reserve a dead interval: a transient SDIMM buffer stall.
+
+        Fault injection (repro.faults) uses this to model the buffer chip
+        holding the channel without transferring data — later reservations
+        backfill around or after it exactly as they would a real transfer.
+        Returns the occupied ``(start, end)`` interval.
+        """
+        if cycles < 1:
+            raise ValueError("a stall must occupy at least one cycle")
+        start, end = self._reserve(max(start, 0), cycles)
+        self.stall_cycles += cycles
+        self.stalls_injected += 1
+        if self.tracer.enabled:
+            self.tracer.span("stall", CATEGORY_BUS, self.name, start, end,
+                             injected=1)
+        return start, end
 
     def advance(self, now: int) -> None:
         """Tell the bus simulation time reached ``now``.

@@ -19,12 +19,21 @@ from typing import Iterable, Iterator, Optional
 
 from repro.cache.cache import SetAssociativeCache
 from repro.config import SystemConfig
+from repro.core.split import SplitIntegrityError
+from repro.core.transfer_queue import TransferQueueOverflow
 from repro.obs.metrics import phase_breakdown
 from repro.obs.tracer import CATEGORY_CPU, NULL_TRACER, Tracer
+from repro.oram.integrity import IntegrityError
+from repro.oram.path_oram import StashOverflowError
 from repro.sim.events import EventQueue
-from repro.sim.stats import LatencyStats, RunResult
+from repro.sim.stats import (LatencyStats, RunResult,
+                             failure_record_from_exception)
 from repro.utils.rng import DeterministicRng
 from repro.workloads.trace import TraceRecord
+
+#: Detections that may terminate a run gracefully under on_fault="record".
+RECOVERABLE_FAULTS = (IntegrityError, SplitIntegrityError,
+                      StashOverflowError, TransferQueueOverflow)
 
 
 class _MissSlot:
@@ -84,15 +93,37 @@ class SimulationDriver:
     # ------------------------------------------------------------------
 
     def run(self, trace: Iterable[TraceRecord],
-            warmup_records: int = 0) -> RunResult:
-        """Execute the trace; statistics cover the post-warm-up window."""
+            warmup_records: int = 0,
+            on_fault: str = "raise") -> RunResult:
+        """Execute the trace; statistics cover the post-warm-up window.
+
+        ``on_fault`` controls what a detection does to the run:
+
+        * ``"raise"`` (default) — detections propagate, today's behaviour;
+        * ``"record"`` — an :class:`IntegrityError`, Split integrity error,
+          stash overflow, or transfer-queue overflow becomes a structured
+          entry in ``RunResult.failures`` and the partial statistics up to
+          the terminal event are preserved.
+        """
+        if on_fault not in ("raise", "record"):
+            raise ValueError(f"unknown on_fault policy {on_fault!r}")
         self._records = iter(trace)
         self._warmup_records = warmup_records
         self.events.at(0, self._issue_loop)
-        self.events.run()
+        terminal = None
+        try:
+            self.events.run()
+        except RECOVERABLE_FAULTS as error:
+            if on_fault != "record":
+                raise
+            terminal = failure_record_from_exception(error)
         end = max(self._final_cycle, self.events.now)
         self.backend.finalize(end)
-        return self._build_result(end)
+        result = self._build_result(end)
+        if terminal is not None:
+            terminal["terminal"] = True
+            result.failures.append(terminal)
+        return result
 
     # ------------------------------------------------------------------
     # The core's issue process

@@ -85,6 +85,14 @@ class RunResult:
     #: (repro.obs.metrics.phase_breakdown); empty without a tracer
     phase_cycles: Dict[str, int] = field(default_factory=dict)
     extras: Dict[str, float] = field(default_factory=dict)
+    #: structured terminal-event records (integrity faults, overflows)
+    #: when the run completed degraded instead of raising; empty for a
+    #: clean run.  Each record carries at least ``kind`` and ``detail``.
+    failures: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def completed_clean(self) -> bool:
+        return not self.failures
 
     @property
     def cycles_per_miss(self) -> float:
@@ -125,7 +133,32 @@ class RunResult:
             "drain_accesses": self.drain_accesses,
             "channel_counters": self.channel_counters,
             "phase_cycles": dict(sorted(self.phase_cycles.items())),
+            "failures": [dict(record) for record in self.failures],
         }
+
+
+def failure_record_from_exception(error: BaseException) -> Dict[str, object]:
+    """Flatten a detection exception into a JSON-friendly failure record.
+
+    Picks up the structured fields the integrity/overflow exceptions carry
+    (``index``, ``expected_counter``, ``bucket``, ``way``, ``occupancy``,
+    ``capacity``, plus their ``kind`` discriminator as ``fault_kind``) so
+    ``RunResult.failures`` preserves everything a traceback would have
+    shown, minus the crash.
+    """
+    record: Dict[str, object] = {
+        "kind": type(error).__name__,
+        "detail": str(error),
+    }
+    for attr in ("index", "expected_counter", "bucket", "way",
+                 "occupancy", "capacity", "site", "sdimm", "attempts"):
+        value = getattr(error, attr, None)
+        if value is not None:
+            record[attr] = value
+    discriminator = getattr(error, "kind", None)
+    if isinstance(discriminator, str):
+        record["fault_kind"] = discriminator
+    return record
 
 
 def geometric_mean(values: List[float]) -> float:

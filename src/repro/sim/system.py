@@ -36,7 +36,8 @@ def run_simulation(config: SystemConfig,
                    warmup_records: Optional[int] = None,
                    trace_seed: int = 2018,
                    window_policy: str = "in-order",
-                   tracer: Tracer = NULL_TRACER) -> RunResult:
+                   tracer: Tracer = NULL_TRACER,
+                   on_fault: str = "raise") -> RunResult:
     """Run one (design, workload) pair and return its measurements.
 
     ``workload`` is a profile name from :data:`repro.workloads.SPEC_PROFILES`
@@ -62,13 +63,15 @@ def run_simulation(config: SystemConfig,
                               window_policy=window_policy,
                               tracer=tracer)
     trace = iterate_trace(profile, trace_length, seed=trace_seed)
-    return driver.run(trace, warmup_records=warmup_records)
+    return driver.run(trace, warmup_records=warmup_records,
+                      on_fault=on_fault)
 
 
 def run_trace_file(config: SystemConfig, path: str, mlp: int = 4,
                    warmup_records: int = 0,
                    window_policy: str = "in-order",
-                   tracer: Tracer = NULL_TRACER) -> RunResult:
+                   tracer: Tracer = NULL_TRACER,
+                   on_fault: str = "raise") -> RunResult:
     """Run a trace previously saved with
     :func:`repro.workloads.trace.save_trace` (or captured elsewhere in the
     same format) through any design point."""
@@ -83,7 +86,8 @@ def run_trace_file(config: SystemConfig, path: str, mlp: int = 4,
                               workload_name=path,
                               window_policy=window_policy,
                               tracer=tracer)
-    return driver.run(records, warmup_records=warmup_records)
+    return driver.run(records, warmup_records=warmup_records,
+                      on_fault=on_fault)
 
 
 def run_design_comparison(designs, workload, channels: int,

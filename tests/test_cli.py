@@ -80,3 +80,40 @@ class TestCommands:
         summary = json.loads(capsys.readouterr().out)
         assert summary["design"] == "nonsecure"
         assert summary["memory_energy_pj"] > 0
+
+
+class TestFaultsCommand:
+    ARGS = ["faults", "--design", "independent", "--accesses", "32",
+            "--stuck-cells", "1", "--no-cache"]
+
+    def test_campaign_detects_everything(self, capsys):
+        assert main(self.ARGS) == 0
+        output = capsys.readouterr().out
+        assert "independent" in output
+        assert "1.00" in output
+
+    def test_json_reports(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert len(reports) == 1
+        assert reports[0]["all_detected"] is True
+
+    def test_report_file_is_replay_stable(self, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        assert main(self.ARGS + ["--report", str(first)]) == 0
+        assert main(self.ARGS + ["--report", str(second)]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_seed_sweep_runs_each_seed(self, capsys):
+        assert main(["faults", "--design", "split", "--accesses", "24",
+                     "--seeds", "3", "5", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("split") == 2
+
+    def test_audit_trace_with_faults_flag_parses(self):
+        args = build_parser().parse_args(["audit-trace", "--with-faults"])
+        assert args.with_faults

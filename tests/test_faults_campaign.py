@@ -1,0 +1,155 @@
+"""Tests for repro.faults.campaign: end-to-end faulted runs."""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import (CampaignSpec, _build_protocol,
+                                   build_faulted_protocol,
+                                   campaign_cache_key, run_campaign,
+                                   run_campaign_sweep)
+from repro.faults.plan import FaultPlan
+from repro.obs.tracer import NULL_TRACER
+from repro.parallel import RunCache
+
+
+def faulty_spec(design, **overrides):
+    kwargs = dict(design=design, accesses=48, levels=5, sites=2,
+                  seed=2018, bit_flips=2, replays=1, stuck_cells=1,
+                  link_drops=1, link_duplicates=1, link_delays=1,
+                  buffer_stalls=1)
+    kwargs.update(overrides)
+    return CampaignSpec(**kwargs)
+
+
+class TestSpec:
+    def test_round_trip(self):
+        spec = faulty_spec("split")
+        assert CampaignSpec.from_dict(spec.to_dict()) == spec
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(design="tofu")
+        with pytest.raises(ValueError):
+            CampaignSpec(accesses=0)
+
+    def test_plan_sites_collapse_for_plain_split(self):
+        assert faulty_spec("split").plan_sites == 1
+        assert faulty_spec("independent").plan_sites == 2
+
+    def test_build_plan_is_deterministic(self):
+        spec = faulty_spec("independent")
+        assert spec.build_plan() == spec.build_plan()
+
+
+class TestZeroFaultEquivalence:
+    """An empty plan must leave the protocol byte-identical to bare."""
+
+    @pytest.mark.parametrize("design", ["independent", "split",
+                                        "indep-split"])
+    def test_link_shapes_match_the_bare_protocol(self, design):
+        spec = faulty_spec(design, bit_flips=0, replays=0, stuck_cells=0,
+                           link_drops=0, link_duplicates=0, link_delays=0,
+                           buffer_stalls=0)
+        empty = FaultPlan(seed=spec.seed, specs=())
+        wrapped, injector, driver, stats = build_faulted_protocol(
+            spec, empty)
+        bare = _build_protocol(spec, NULL_TRACER)
+        addresses = [i % 8 for i in range(24)]
+        for index, address in enumerate(addresses):
+            injector.begin_access(index)
+            if driver is not None:
+                driver.arm(index)
+            wrapped.read(address)
+            bare.read(address)
+        assert wrapped.link.shapes() == bare.link.shapes()
+        assert stats.detections == 0
+        assert stats.retries == 0
+
+    def test_zero_fault_campaign_report_is_clean(self):
+        spec = faulty_spec("independent", bit_flips=0, replays=0,
+                           stuck_cells=0, link_drops=0, link_duplicates=0,
+                           link_delays=0, buffer_stalls=0)
+        outcome = run_campaign(spec)
+        assert outcome.completed
+        assert outcome.accesses_completed == spec.accesses
+        assert outcome.resilience["detections"] == 0
+        assert outcome.resilience["failures"] == []
+        assert outcome.all_detected    # vacuously: nothing injected
+
+
+class TestFaultedCampaigns:
+    @pytest.mark.parametrize("design", ["independent", "split",
+                                        "indep-split"])
+    @pytest.mark.parametrize("seed", [7, 2018])
+    def test_every_applied_integrity_fault_is_detected(self, design, seed):
+        outcome = run_campaign(faulty_spec(design, seed=seed))
+        assert outcome.all_detected
+        detection = outcome.detection["integrity"]
+        assert detection["missed"] == 0
+        assert detection["applied"] + detection["vacuous"] == \
+            detection["scheduled"]
+
+    @pytest.mark.parametrize("design", ["independent", "split",
+                                        "indep-split"])
+    def test_replay_is_byte_identical(self, design):
+        spec = faulty_spec(design)
+        first = run_campaign(spec).canonical_json()
+        second = run_campaign(spec).canonical_json()
+        assert first == second
+
+    def test_independent_stuck_cell_quarantines(self):
+        outcome = run_campaign(faulty_spec("independent"))
+        assert outcome.completed
+        assert outcome.quarantined
+        assert outcome.resilience["quarantines"] >= 1
+        assert any(record.get("action") == "quarantined"
+                   for record in outcome.resilience["failures"])
+
+    def test_split_stuck_cell_is_a_structured_terminal(self):
+        outcome = run_campaign(faulty_spec("split"))
+        assert not outcome.completed
+        assert outcome.terminal is not None
+        assert outcome.terminal["kind"] == "RetryExhaustedError"
+        assert outcome.terminal["terminal"] is True
+        assert outcome.accesses_completed < outcome.spec.accesses
+
+    def test_metrics_surface_fault_counters(self):
+        outcome = run_campaign(faulty_spec("independent"))
+        counters = outcome.metrics["counters"]
+        assert counters["faults/detections"] >= 1
+        assert "faults/degraded_accesses" in counters
+
+    def test_outcome_dict_is_json_serializable(self):
+        payload = run_campaign(faulty_spec("indep-split")).to_dict()
+        restored = json.loads(json.dumps(payload))
+        assert restored["all_detected"] is True
+        assert restored["plan_digest"] == payload["plan_digest"]
+
+
+class TestSweepAndCache:
+    def specs(self):
+        return [faulty_spec(design, accesses=24)
+                for design in ("independent", "split", "indep-split")]
+
+    def test_cache_key_is_stable_and_plan_sensitive(self):
+        spec = faulty_spec("independent")
+        plan = spec.build_plan()
+        assert campaign_cache_key(spec, plan) == \
+            campaign_cache_key(spec, plan)
+        other = faulty_spec("independent", seed=7)
+        assert campaign_cache_key(other, other.build_plan()) != \
+            campaign_cache_key(spec, plan)
+
+    def test_serial_and_parallel_sweeps_agree(self):
+        serial = run_campaign_sweep(self.specs(), jobs=1)
+        parallel = run_campaign_sweep(self.specs(), jobs=2)
+        assert serial == parallel
+
+    def test_cache_round_trip(self, tmp_path):
+        cache = RunCache(str(tmp_path))
+        first = run_campaign_sweep(self.specs(), cache=cache)
+        second = run_campaign_sweep(self.specs(), cache=cache)
+        assert first == second
+        # and a cached result equals a fresh computation
+        assert second == run_campaign_sweep(self.specs(), cache=None)

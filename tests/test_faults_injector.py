@@ -1,0 +1,190 @@
+"""Tests for repro.faults.injector: schedule-driven fault application."""
+
+import pytest
+
+from repro.faults.injector import FaultInjector, FaultyStore
+from repro.faults.plan import (FAULT_BIT_FLIP, FAULT_REPLAY,
+                               FAULT_STUCK_CELL, FaultPlan, FaultSpec)
+from repro.oram.bucket import Block, Bucket
+from repro.oram.integrity import (EncryptedBucketStore, IntegrityError,
+                                  PlainBucketStore)
+from repro.oram.merkle import MerkleBucketStore
+
+KEY = b"0123456789abcdef"
+
+
+def enc_store():
+    return EncryptedBucketStore(15, 4, 16, key=KEY)
+
+
+def merkle_store():
+    return MerkleBucketStore(5, bucket_capacity=4, block_bytes=16, key=KEY)
+
+
+def full_bucket(value=0xAA):
+    bucket = Bucket(4, 16)
+    bucket.insert(Block(1, 3, bytes([value]) * 16))
+    return bucket
+
+
+def faulted(store, *specs, seed=3):
+    plan = FaultPlan(seed=seed, specs=tuple(sorted(specs)))
+    injector = FaultInjector(plan)
+    return injector, FaultyStore(injector, 0, store)
+
+
+def spec(kind, access_index=0, read_ordinal=0, persistent=False):
+    return FaultSpec(access_index=access_index, kind=kind, site=0,
+                     read_ordinal=read_ordinal, persistent=persistent)
+
+
+class TestBitFlip:
+    def test_detected_then_heals_for_the_retry(self):
+        injector, store = faulted(enc_store(), spec(FAULT_BIT_FLIP))
+        store.write(3, full_bucket())
+        injector.begin_access(0)
+        with pytest.raises(IntegrityError):
+            store.read(3)
+        # the spec is consumed and the true cell restored: the recovery
+        # layer's re-read sees clean, current data
+        assert store.read(3).blocks()[0].data == b"\xaa" * 16
+        summary = injector.summary()["integrity"]
+        assert summary == {"scheduled": 1, "applied": 1, "vacuous": 0,
+                           "detected": 1, "missed": 0, "rate": 1.0}
+
+    def test_unwritten_cell_is_vacuous(self):
+        injector, store = faulted(enc_store(), spec(FAULT_BIT_FLIP))
+        injector.begin_access(0)
+        assert store.read(3).occupancy == 0
+        summary = injector.summary()["integrity"]
+        assert summary["vacuous"] == 1
+        assert summary["applied"] == 0
+        assert summary["rate"] == 1.0
+
+    def test_read_ordinal_targets_the_nth_read(self):
+        injector, store = faulted(enc_store(),
+                                  spec(FAULT_BIT_FLIP, read_ordinal=1))
+        store.write(3, full_bucket())
+        store.write(4, full_bucket(0xBB))
+        injector.begin_access(0)
+        assert store.read(3).occupancy == 1
+        with pytest.raises(IntegrityError):
+            store.read(4)
+
+    def test_access_index_gates_arming(self):
+        injector, store = faulted(enc_store(),
+                                  spec(FAULT_BIT_FLIP, access_index=1))
+        store.write(3, full_bucket())
+        injector.begin_access(0)
+        assert store.read(3).occupancy == 1
+        injector.begin_access(1)
+        with pytest.raises(IntegrityError):
+            store.read(3)
+
+    def test_store_without_hooks_is_vacuous(self):
+        injector, store = faulted(PlainBucketStore(15, 4, 16),
+                                  spec(FAULT_BIT_FLIP))
+        store.write(3, full_bucket())
+        injector.begin_access(0)
+        assert store.read(3).occupancy == 1
+        assert injector.summary()["integrity"]["vacuous"] == 1
+
+
+class TestReplay:
+    def test_stale_version_fails_verification(self):
+        injector, store = faulted(enc_store(), spec(FAULT_REPLAY))
+        store.write(3, full_bucket(0x11))
+        store.write(3, full_bucket(0x22))
+        injector.begin_access(0)
+        with pytest.raises(IntegrityError):
+            store.read(3)
+        # healed: the current version is back for the retry
+        assert store.read(3).blocks()[0].data == b"\x22" * 16
+        assert injector.summary()["integrity"]["detected"] == 1
+
+    def test_no_stale_version_is_vacuous(self):
+        injector, store = faulted(enc_store(), spec(FAULT_REPLAY))
+        store.write(3, full_bucket())
+        injector.begin_access(0)
+        assert store.read(3).occupancy == 1
+        summary = injector.summary()["integrity"]
+        assert summary["vacuous"] == 1
+        assert summary["rate"] == 1.0
+
+
+class TestStuckCell:
+    def test_persists_across_writes(self):
+        injector, store = faulted(
+            enc_store(), spec(FAULT_STUCK_CELL, persistent=True))
+        store.write(3, full_bucket())
+        injector.begin_access(0)
+        with pytest.raises(IntegrityError):
+            store.read(3)
+        # no heal: the retry fails too
+        with pytest.raises(IntegrityError):
+            store.read(3)
+        # every write that lands in the stuck bank re-corrupts
+        store.write(3, full_bucket(0x33))
+        with pytest.raises(IntegrityError):
+            store.read(3)
+        summary = injector.summary()["integrity"]
+        assert summary["detected"] == 1     # idempotent per scheduled fault
+        assert summary["rate"] == 1.0
+
+    def test_other_cells_unaffected(self):
+        injector, store = faulted(
+            enc_store(), spec(FAULT_STUCK_CELL, persistent=True))
+        store.write(3, full_bucket())
+        store.write(4, full_bucket(0x44))
+        injector.begin_access(0)
+        with pytest.raises(IntegrityError):
+            store.read(3)
+        assert store.read(4).blocks()[0].data == b"\x44" * 16
+
+
+class TestMerkleTarget:
+    def test_bit_flip_detected(self):
+        injector, store = faulted(merkle_store(), spec(FAULT_BIT_FLIP))
+        store.write(3, full_bucket())
+        injector.begin_access(0)
+        with pytest.raises(IntegrityError):
+            store.read(3)
+        assert store.read(3).blocks()[0].data == b"\xaa" * 16
+        assert injector.summary()["integrity"]["rate"] == 1.0
+
+    def test_replay_detected_by_hash_path(self):
+        injector, store = faulted(merkle_store(), spec(FAULT_REPLAY))
+        store.write(3, full_bucket(0x11))
+        store.write(3, full_bucket(0x22))
+        injector.begin_access(0)
+        with pytest.raises(IntegrityError) as excinfo:
+            store.read(3)
+        assert excinfo.value.kind in ("hash", "root")
+        assert store.read(3).blocks()[0].data == b"\x22" * 16
+
+
+class TestLifecycle:
+    def test_finalize_marks_unreached_specs_vacuous(self):
+        injector, store = faulted(enc_store(),
+                                  spec(FAULT_BIT_FLIP, access_index=5))
+        store.write(3, full_bucket())
+        injector.begin_access(0)
+        store.read(3)
+        injector.finalize()
+        summary = injector.summary()["integrity"]
+        assert summary == {"scheduled": 1, "applied": 0, "vacuous": 1,
+                           "detected": 0, "missed": 0, "rate": 1.0}
+
+    def test_empty_plan_is_invisible(self):
+        injector, store = faulted(enc_store())
+        store.write(3, full_bucket())
+        injector.begin_access(0)
+        assert store.read(3).occupancy == 1
+        injector.finalize()
+        for tier in ("integrity", "link", "stalls"):
+            assert injector.summary()[tier]["scheduled"] == 0
+
+    def test_delegates_unknown_attributes(self):
+        inner = enc_store()
+        _, store = faulted(inner)
+        assert store.bucket_count == inner.bucket_count

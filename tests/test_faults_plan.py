@@ -1,0 +1,128 @@
+"""Tests for repro.faults.plan: seeded, serializable fault schedules."""
+
+import pytest
+
+from repro.faults.plan import (FAULT_BIT_FLIP, FAULT_BUFFER_STALL,
+                               FAULT_LINK_DELAY, FAULT_LINK_DROP,
+                               FAULT_LINK_DUPLICATE, FAULT_REPLAY,
+                               FAULT_STUCK_CELL, INTEGRITY_KINDS,
+                               LINK_KINDS, FaultPlan, FaultSpec,
+                               merge_plans)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultSpec(access_index=0, kind="gamma-ray")
+
+    def test_rejects_negative_access_index(self):
+        with pytest.raises(ValueError):
+            FaultSpec(access_index=-1, kind=FAULT_BIT_FLIP)
+
+    def test_round_trip(self):
+        spec = FaultSpec(access_index=7, kind=FAULT_LINK_DELAY, site=1,
+                         read_ordinal=2, op_ordinal=3, delay_steps=5)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_fills_defaults(self):
+        spec = FaultSpec.from_dict({"access_index": 3,
+                                    "kind": FAULT_BIT_FLIP})
+        assert spec.site == 0
+        assert spec.read_ordinal == 0
+        assert not spec.persistent
+
+    def test_kind_partition(self):
+        """Every kind is integrity, link, or the stall kind — no overlap."""
+        assert not (INTEGRITY_KINDS & LINK_KINDS)
+        assert FAULT_BUFFER_STALL not in INTEGRITY_KINDS | LINK_KINDS
+
+
+def generate(seed=11, **overrides):
+    kwargs = dict(accesses=32, sites=2, bit_flips=2, replays=1,
+                  stuck_cells=1, link_drops=1, link_duplicates=1,
+                  link_delays=1, buffer_stalls=1)
+    kwargs.update(overrides)
+    return FaultPlan.generate(seed, **kwargs)
+
+
+class TestFaultPlan:
+    def test_generate_is_deterministic(self):
+        assert generate() == generate()
+        assert generate().digest() == generate().digest()
+
+    def test_generate_varies_with_seed(self):
+        assert generate(seed=11).digest() != generate(seed=12).digest()
+
+    def test_digest_tracks_content(self):
+        assert generate().digest() != generate(bit_flips=3).digest()
+
+    def test_specs_come_out_sorted(self):
+        plan = generate()
+        assert list(plan.specs) == sorted(plan.specs)
+
+    def test_round_trip(self):
+        plan = generate()
+        restored = FaultPlan.from_dict(plan.to_dict())
+        assert restored == plan
+        assert restored.digest() == plan.digest()
+
+    def test_kind_filters_partition_the_plan(self):
+        plan = generate()
+        partition = (plan.integrity_specs + plan.link_specs
+                     + plan.stall_specs)
+        assert sorted(partition) == list(plan.specs)
+        assert all(s.kind in INTEGRITY_KINDS for s in plan.integrity_specs)
+        assert all(s.kind in LINK_KINDS for s in plan.link_specs)
+        assert all(s.kind == FAULT_BUFFER_STALL for s in plan.stall_specs)
+
+    def test_counts_land_in_the_plan(self):
+        plan = generate()
+        kinds = [spec.kind for spec in plan.specs]
+        assert kinds.count(FAULT_BIT_FLIP) == 2
+        assert kinds.count(FAULT_REPLAY) == 1
+        assert kinds.count(FAULT_STUCK_CELL) == 1
+        assert kinds.count(FAULT_LINK_DROP) == 1
+        assert kinds.count(FAULT_LINK_DUPLICATE) == 1
+        assert kinds.count(FAULT_LINK_DELAY) == 1
+        assert kinds.count(FAULT_BUFFER_STALL) == 1
+
+    def test_stuck_cells_are_persistent(self):
+        plan = generate()
+        for spec in plan.specs:
+            assert spec.persistent == (spec.kind == FAULT_STUCK_CELL)
+
+    def test_delayed_kinds_get_positive_delays(self):
+        plan = generate()
+        for spec in plan.specs:
+            if spec.kind in (FAULT_LINK_DELAY, FAULT_BUFFER_STALL):
+                assert spec.delay_steps >= 1
+            else:
+                assert spec.delay_steps == 0
+
+    def test_generate_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan.generate(1, accesses=0, sites=1)
+        with pytest.raises(ValueError):
+            FaultPlan.generate(1, accesses=1, sites=0)
+
+    def test_generation_never_perturbs_protocol_streams(self):
+        """Plans draw from their own named stream; two draws agree even
+        when other DeterministicRng streams were consumed in between."""
+        from repro.utils.rng import DeterministicRng
+
+        first = generate()
+        DeterministicRng(11, "position-map").randrange(1 << 20)
+        assert generate() == first
+
+
+class TestMergePlans:
+    def test_union_is_sorted(self):
+        a = generate(seed=1, link_drops=0, buffer_stalls=0)
+        b = generate(seed=2, bit_flips=0, stuck_cells=0)
+        merged = merge_plans([a, b])
+        assert list(merged.specs) == sorted(a.specs + b.specs)
+        assert merged.seed == a.seed
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_plans([])

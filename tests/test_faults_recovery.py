@@ -1,0 +1,236 @@
+"""Tests for repro.faults.recovery: retries, backoff, link resilience."""
+
+import pytest
+
+from repro.core.commands import SdimmCommand
+from repro.core.secure_buffer import LinkRecorder
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (FAULT_LINK_DELAY, FAULT_LINK_DROP,
+                               FAULT_LINK_DUPLICATE, FaultPlan, FaultSpec)
+from repro.faults.recovery import (ResilienceStats, ResilientLink,
+                                   RetryExhaustedError, RetryPolicy,
+                                   RetryingStore, SplitResilienceHandle)
+from repro.obs.metrics import MetricsRegistry
+from repro.oram.integrity import IntegrityError
+from repro.utils.rng import DeterministicRng
+
+
+def rng():
+    return DeterministicRng(9, "faults/test")
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_to_the_cap(self):
+        policy = RetryPolicy(backoff_base=2, backoff_factor=2,
+                             backoff_cap=16, jitter=0)
+        steps = [policy.backoff_steps(a, rng()) for a in (1, 2, 3, 4, 5)]
+        assert steps == [2, 4, 8, 16, 16]
+
+    def test_jitter_is_bounded_and_deterministic(self):
+        policy = RetryPolicy(backoff_base=2, backoff_factor=2,
+                             backoff_cap=16, jitter=3)
+        first = [policy.backoff_steps(1, rng()) for _ in range(8)]
+        second = [policy.backoff_steps(1, rng()) for _ in range(8)]
+        assert first == second
+        assert all(2 <= steps <= 4 for steps in first)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_base=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=0).backoff_steps(0, rng())
+
+    def test_to_dict_round_trips_through_kwargs(self):
+        policy = RetryPolicy(max_retries=5, jitter=0)
+        assert RetryPolicy(**policy.to_dict()) == policy
+
+
+class _FlakyStore:
+    """Fails verification a fixed number of times, then succeeds."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.reads = 0
+        self.written = {}
+        self.extra = "delegated"
+
+    def read(self, index):
+        self.reads += 1
+        if self.failures > 0:
+            self.failures -= 1
+            raise IntegrityError("flaky", index=index, kind="mac")
+        return ("bucket", index)
+
+    def write(self, index, bucket):
+        self.written[index] = bucket
+
+
+class TestRetryingStore:
+    def wrap(self, failures, max_retries=3):
+        stats = ResilienceStats()
+        store = RetryingStore(_FlakyStore(failures), site=1,
+                              policy=RetryPolicy(max_retries=max_retries,
+                                                 jitter=0),
+                              stats=stats, rng=rng())
+        return store, stats
+
+    def test_clean_read_counts_nothing(self):
+        store, stats = self.wrap(failures=0)
+        assert store.read(4) == ("bucket", 4)
+        assert stats.detections == 0
+        assert stats.retries == 0
+        assert stats.recovered_reads == 0
+
+    def test_transient_failures_recover(self):
+        store, stats = self.wrap(failures=2)
+        assert store.read(4) == ("bucket", 4)
+        assert stats.detections == 2
+        assert stats.retries == 2
+        assert stats.recovered_reads == 1
+        assert stats.backoff_steps == 2 + 4
+        assert stats.exhausted == 0
+
+    def test_exhaustion_raises_structured_error(self):
+        store, stats = self.wrap(failures=99, max_retries=2)
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            store.read(7)
+        error = excinfo.value
+        assert error.site == 1
+        assert error.index == 7
+        assert error.attempts == 2
+        assert error.kind == "mac"
+        assert stats.exhausted == 1
+        assert stats.failures[0]["kind"] == "retry-exhausted"
+        assert stats.failures[0]["index"] == 7
+
+    def test_write_and_attributes_pass_through(self):
+        store, _ = self.wrap(failures=0)
+        store.write(2, "payload")
+        assert store._inner.written[2] == "payload"
+        assert store.extra == "delegated"
+
+
+class TestSplitResilienceHandle:
+    def make(self, max_retries=2, heal=None):
+        stats = ResilienceStats()
+        handle = SplitResilienceHandle(
+            RetryPolicy(max_retries=max_retries, jitter=0), stats, rng(),
+            site=3, heal=heal)
+        return handle, stats
+
+    def test_retries_below_budget(self):
+        handle, stats = self.make()
+        error = IntegrityError("bad", index=5, kind="mac")
+        assert handle.on_integrity_failure("split", 5, error, attempt=1)
+        assert handle.on_integrity_failure("split", 5, error, attempt=2)
+        assert stats.detections == 2
+        assert stats.retries == 2
+
+    def test_heal_runs_on_every_failure(self):
+        healed = []
+        handle, _ = self.make(heal=healed.append)
+        error = IntegrityError("bad", index=5, kind="mac")
+        handle.on_integrity_failure("split", 5, error, attempt=1)
+        with pytest.raises(RetryExhaustedError):
+            handle.on_integrity_failure("split", 5, error, attempt=3)
+        # the heal callback saw the exhausting failure too — that is how
+        # the fault driver attributes detections for persistent faults
+        assert healed == [5, 5]
+
+    def test_exhaustion(self):
+        handle, stats = self.make(max_retries=1)
+        error = IntegrityError("bad", index=5, kind="mac")
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            handle.on_integrity_failure("split", 5, error, attempt=2)
+        assert excinfo.value.site == 3
+        assert stats.exhausted == 1
+
+
+def link_with_plan(*specs, seed=4):
+    plan = FaultPlan(seed=seed, specs=tuple(sorted(specs)))
+    injector = FaultInjector(plan)
+    recorder = LinkRecorder(enabled=True)
+    stats = ResilienceStats()
+    link = ResilientLink(recorder, injector, stats,
+                         RetryPolicy(jitter=0), rng())
+    injector.begin_access(0)
+    return link, recorder, stats, injector
+
+
+def link_spec(kind, op_ordinal=0, delay_steps=0):
+    return FaultSpec(access_index=0, kind=kind, op_ordinal=op_ordinal,
+                     delay_steps=delay_steps)
+
+
+class TestResilientLink:
+    def test_clean_passthrough(self):
+        link, recorder, stats, _ = link_with_plan()
+        link.up(SdimmCommand.ACCESS, 0, 64)
+        link.down(None, 1, 64)
+        assert len(recorder) == 2
+        assert stats.link_drops == 0
+
+    def test_drop_retransmits_with_identical_shape(self):
+        link, recorder, stats, _ = link_with_plan(
+            link_spec(FAULT_LINK_DROP))
+        link.up(SdimmCommand.ACCESS, 0, 64)
+        shapes = recorder.shapes()
+        assert len(shapes) == 2
+        assert shapes[0] == shapes[1]
+        assert stats.link_drops == 1
+        assert stats.link_retransmissions == 1
+        assert stats.retries == 1           # the timeout backed off
+
+    def test_duplicate_delivers_twice(self):
+        link, recorder, stats, _ = link_with_plan(
+            link_spec(FAULT_LINK_DUPLICATE))
+        link.down(None, 1, 64)
+        assert len(recorder) == 2
+        assert stats.link_duplicates == 1
+
+    def test_delay_ticks_the_clock_not_the_wire(self):
+        link, recorder, stats, _ = link_with_plan(
+            link_spec(FAULT_LINK_DELAY, delay_steps=5))
+        before = recorder.clock.now
+        link.up(SdimmCommand.ACCESS, 0, 64)
+        assert len(recorder) == 1           # exactly one event on the wire
+        assert recorder.clock.now >= before + 5
+        assert stats.link_delays == 1
+        assert stats.link_delay_steps == 5
+
+    def test_op_ordinal_targets_the_nth_message(self):
+        link, recorder, _, _ = link_with_plan(
+            link_spec(FAULT_LINK_DROP, op_ordinal=2))
+        for _ in range(3):
+            link.up(SdimmCommand.ACCESS, 0, 64)
+        assert len(recorder) == 4           # third message retransmitted
+
+    def test_summary_counts_applied_link_faults(self):
+        link, _, _, injector = link_with_plan(link_spec(FAULT_LINK_DROP))
+        link.up(SdimmCommand.ACCESS, 0, 64)
+        injector.finalize()
+        assert injector.summary()["link"]["applied"] == 1
+
+
+class TestResilienceStats:
+    def test_fold_into_exports_fault_counters(self):
+        stats = ResilienceStats()
+        stats.note_detection(0, 3, IntegrityError("x"))
+        stats.note_retry(4)
+        stats.note_recovered(1)
+        stats.note_quarantine(2)
+        stats.note_quarantine(2)            # idempotent per site
+        metrics = MetricsRegistry()
+        stats.fold_into(metrics)
+        assert metrics.counter("faults/detections").value == 1
+        assert metrics.counter("faults/retries").value == 1
+        assert metrics.counter("faults/backoff_steps").value == 4
+        assert metrics.counter("faults/quarantines").value == 1
+
+    def test_terminal_records_are_flagged(self):
+        stats = ResilienceStats()
+        stats.note_terminal({"kind": "stash-overflow", "detail": "boom"})
+        assert stats.as_dict()["failures"] == [
+            {"kind": "stash-overflow", "detail": "boom", "terminal": True}]

@@ -36,11 +36,32 @@ class TestPlainStore:
         store.write(3, full_bucket())
         assert store.read(3).occupancy == 2
 
-    def test_counter_bumps_on_write(self):
+    def test_counter_tracked_without_mutating_caller(self):
+        """Writes bump an internal counter; the argument is untouched."""
         store = PlainBucketStore(15, 4, 16)
         bucket = full_bucket()
         store.write(3, bucket)
-        assert bucket.counter == 1
+        assert bucket.counter == 0
+        assert store.read(3).counter == 1
+        store.write(3, bucket)
+        assert bucket.counter == 0
+        assert store.read(3).counter == 2
+
+    def test_read_returns_a_copy(self):
+        """Mutating a read bucket must not leak into the store."""
+        store = PlainBucketStore(15, 4, 16)
+        store.write(3, full_bucket())
+        taken = store.read(3)
+        taken.clear()
+        assert store.read(3).occupancy == 2
+
+    def test_write_snapshots_the_argument(self):
+        """Mutating the written bucket afterwards must not reach the store."""
+        store = PlainBucketStore(15, 4, 16)
+        bucket = full_bucket()
+        store.write(3, bucket)
+        bucket.clear()
+        assert store.read(3).occupancy == 2
 
     def test_bounds(self):
         store = PlainBucketStore(15, 4, 16)
@@ -148,3 +169,60 @@ class TestOramOverEncryptedStore:
         store.tamper(0, bytes([ciphertext[0] ^ 1]) + ciphertext[1:])
         with pytest.raises(IntegrityError):
             oram.access(1, Op.READ)
+
+
+class TestStoreEquivalence:
+    """Plain and encrypted stores are observationally equivalent.
+
+    Both stores promise the same contract — reads hand back owned
+    copies, writes snapshot without mutating the caller — so the same
+    ORAM driven over both (same RNG stream) must return identical data
+    and issue identical store traffic.  This is the differential test
+    that pins the contract; it failed before ``PlainBucketStore.read``
+    returned a copy.
+    """
+
+    def drive(self, store, ops):
+        oram = PathOram(levels=6, blocks_per_bucket=4, block_bytes=16,
+                        stash_capacity=200,
+                        rng=DeterministicRng(13, "equiv"), store=store)
+        outputs = []
+        for address, op, payload in ops:
+            outputs.append(oram.access(address, op, payload))
+        return outputs
+
+    def workload(self):
+        rng = DeterministicRng(14, "equiv-workload")
+        ops = []
+        for _ in range(60):
+            address = rng.randrange(12)
+            if rng.randrange(2):
+                ops.append((address, Op.WRITE,
+                            bytes([rng.randrange(256)]) * 16))
+            else:
+                ops.append((address, Op.READ, None))
+        return ops
+
+    def test_same_outputs_and_store_traffic(self):
+        ops = self.workload()
+        plain = PlainBucketStore(63, 4, 16)
+        encrypted = encrypted_store(buckets=63)
+        assert self.drive(plain, ops) == self.drive(encrypted, ops)
+        assert (plain.reads, plain.writes) == \
+            (encrypted.reads, encrypted.writes)
+
+    def test_caller_mutations_never_reach_either_store(self):
+        """The aliasing probe: mutate everything the store hands back or
+        receives, then check both stores still agree."""
+        ops = self.workload()
+        outputs = {}
+        for name, store in (("plain", PlainBucketStore(63, 4, 16)),
+                            ("encrypted", encrypted_store(buckets=63))):
+            probe = full_bucket()
+            store.write(3, probe)
+            probe.clear()               # must not reach the store
+            taken = store.read(3)
+            taken.clear()               # must not reach the store either
+            assert store.read(3).occupancy == 2
+            outputs[name] = self.drive(store, ops)
+        assert outputs["plain"] == outputs["encrypted"]

@@ -85,6 +85,59 @@ class TestMerkleStore:
         assert b"\xaa" * 16 not in ciphertext
 
 
+class TestAdversarialHooks:
+    """Contract of the snapshot/tamper/replay hooks the fault layer uses."""
+
+    def test_snapshot_of_unwritten_cell_is_none(self):
+        assert make_store().snapshot(4) is None
+
+    def test_replay_of_the_current_snapshot_verifies_cleanly(self):
+        """A replay that changes nothing is no replay at all — the fault
+        injector relies on this to restore cells after a detection."""
+        store = make_store()
+        store.write(3, full_bucket(0x11))
+        cell, hashes = store.snapshot(3)
+        store.replay(3, cell, dict(hashes))
+        assert store.read(3).blocks()[0].data == b"\x11" * 16
+
+    def test_replay_of_a_leaf_is_detected(self):
+        store = make_store()
+        leaf = store.bucket_count - 1
+        store.write(leaf, full_bucket(0x11))
+        cell, hashes = store.snapshot(leaf)
+        store.write(leaf, full_bucket(0x22))
+        store.replay(leaf, cell, dict(hashes))
+        with pytest.raises(IntegrityError) as excinfo:
+            store.read(leaf)
+        assert excinfo.value.kind in ("hash", "root")
+        assert excinfo.value.index == leaf
+
+    def test_replay_of_an_interior_node_is_detected(self):
+        """An interior cell's replay must fail even when read through a
+        descendant's path verification."""
+        store = make_store()
+        child = 3
+        parent = store.geometry.parent(child)
+        store.write(parent, full_bucket(0x11))
+        store.write(child, full_bucket(0x22))
+        cell, hashes = store.snapshot(parent)
+        store.write(parent, full_bucket(0x33))
+        store.replay(parent, cell, dict(hashes))
+        with pytest.raises(IntegrityError):
+            store.read(child)
+
+    def test_tamper_is_healed_by_replaying_a_clean_snapshot(self):
+        store = make_store()
+        store.write(3, full_bucket(0x11))
+        cell, hashes = store.snapshot(3)
+        (_, ciphertext) = cell
+        store.tamper(3, bytes([ciphertext[0] ^ 1]) + ciphertext[1:])
+        with pytest.raises(IntegrityError):
+            store.read(3)
+        store.replay(3, cell, dict(hashes))
+        assert store.read(3).blocks()[0].data == b"\x11" * 16
+
+
 class TestOramOverMerkle:
     def test_path_oram_end_to_end(self):
         store = make_store(levels=6)

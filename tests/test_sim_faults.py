@@ -1,0 +1,80 @@
+"""Tests for the simulator's on_fault policy: record, don't crash."""
+
+import pytest
+
+from repro.config import DesignPoint, small_config
+from repro.oram.integrity import IntegrityError
+from repro.sim.cpu import SimulationDriver
+from repro.sim.events import EventQueue
+from repro.sim.system import build_backend, run_simulation
+from repro.workloads.spec import get_profile
+from repro.workloads.synthetic import iterate_trace
+
+
+def run(on_fault="raise", fail_at=None, trace_length=400):
+    """One small INDEP run; optionally inject an IntegrityError at the
+    ``fail_at``-th backend submission."""
+    config = small_config(DesignPoint.INDEP_2, seed=11)
+    events = EventQueue()
+    backend = build_backend(config, events)
+    if fail_at is not None:
+        original = backend.submit
+        state = {"count": 0}
+
+        def flaky_submit(*args, **kwargs):
+            state["count"] += 1
+            if state["count"] == fail_at:
+                raise IntegrityError("injected mid-run detection",
+                                     index=5, expected_counter=9,
+                                     kind="mac")
+            return original(*args, **kwargs)
+
+        backend.submit = flaky_submit
+    profile = get_profile("mcf")
+    driver = SimulationDriver(config, backend, events, mlp=profile.mlp,
+                              workload_name=profile.name)
+    trace = iterate_trace(profile, trace_length, seed=11)
+    return driver.run(trace, warmup_records=trace_length // 3,
+                      on_fault=on_fault)
+
+
+class TestOnFaultPolicy:
+    def test_unknown_policy_is_rejected(self):
+        with pytest.raises(ValueError):
+            run(on_fault="shrug")
+
+    def test_clean_runs_are_identical_under_both_policies(self):
+        assert run(on_fault="raise").to_dict() == \
+            run(on_fault="record").to_dict()
+
+    def test_clean_run_reports_completed_clean(self):
+        result = run(on_fault="record")
+        assert result.completed_clean
+        assert result.failures == []
+
+    def test_raise_policy_propagates(self):
+        with pytest.raises(IntegrityError):
+            run(on_fault="raise", fail_at=40)
+
+    def test_record_policy_returns_a_structured_failure(self):
+        result = run(on_fault="record", fail_at=40)
+        assert not result.completed_clean
+        record = result.failures[0]
+        assert record["kind"] == "IntegrityError"
+        assert record["fault_kind"] == "mac"
+        assert record["index"] == 5
+        assert record["expected_counter"] == 9
+        assert record["terminal"] is True
+        assert "injected mid-run detection" in record["detail"]
+        # the partial statistics survived
+        assert result.execution_cycles > 0
+
+    def test_failures_survive_serialization(self):
+        result = run(on_fault="record", fail_at=40)
+        assert result.to_dict()["failures"] == result.failures
+
+    def test_run_simulation_threads_the_policy(self):
+        result = run_simulation(small_config(DesignPoint.INDEP_2, seed=11),
+                                "mcf", trace_length=300,
+                                on_fault="record")
+        assert result.completed_clean
