@@ -7,6 +7,13 @@ small KV store whose *values* and *access pattern* are both protected —
 an adversary watching the (simulated) buses learns only how many
 operations ran.
 
+Keys hash to block addresses, and two distinct keys can land on the same
+slot (at 4096 slots the birthday bound makes a collision near-certain by
+~75 keys).  Every block therefore carries an 8-byte key fingerprint in
+its prefix: an operation that touches a slot owned by a *different* key
+raises :class:`KeyCollisionError` instead of silently serving or
+destroying the wrong record.
+
 Run:  python examples/secure_key_value_store.py
 """
 
@@ -16,8 +23,27 @@ from repro import SplitProtocol
 from repro.oram.path_oram import Op
 
 BLOCK_BYTES = 64
-#: value bytes per block after the 2-byte length prefix
-VALUE_BYTES = BLOCK_BYTES - 2
+#: bytes of key fingerprint stored in the block prefix
+FINGERPRINT_BYTES = 8
+#: value bytes per block after the fingerprint and 2-byte length prefix
+VALUE_BYTES = BLOCK_BYTES - FINGERPRINT_BYTES - 2
+
+#: an all-zero prefix marks a never-written slot
+_EMPTY_FINGERPRINT = bytes(FINGERPRINT_BYTES)
+
+
+class KeyCollisionError(Exception):
+    """Two distinct keys hash to the same slot; the record is not served.
+
+    Carries both the requested key and the slot so callers can rehash or
+    resize instead of silently reading/overwriting the other key's data.
+    """
+
+    def __init__(self, key: str, slot: int):
+        super().__init__(f"key {key!r} collides with another key "
+                         f"at slot {slot}")
+        self.key = key
+        self.slot = slot
 
 
 class ObliviousKvStore:
@@ -25,7 +51,9 @@ class ObliviousKvStore:
 
     Keys hash to block addresses (open addressing is avoided by keeping
     the table sparse); every operation is exactly one ORAM access, so gets
-    and puts are indistinguishable on the wire.
+    and puts are indistinguishable on the wire.  Slot collisions are
+    *detected*, never silent: each block's prefix stores a fingerprint of
+    the owning key, checked on every operation.
     """
 
     def __init__(self, capacity_blocks: int = 4096, ways: int = 2):
@@ -39,18 +67,50 @@ class ObliviousKvStore:
         digest = hashlib.sha256(key.encode()).digest()
         return int.from_bytes(digest[:8], "little") % self._capacity
 
+    def _fingerprint(self, key: str) -> bytes:
+        """8 bytes identifying the key, never equal to the empty marker.
+
+        Drawn from a different region of the digest than :meth:`_slot`, so
+        two keys sharing a slot still (overwhelmingly) differ here.
+        """
+        digest = hashlib.sha256(key.encode()).digest()
+        fingerprint = digest[8:8 + FINGERPRINT_BYTES]
+        if fingerprint == _EMPTY_FINGERPRINT:
+            fingerprint = b"\x01" * FINGERPRINT_BYTES
+        return fingerprint
+
     def put(self, key: str, value: str) -> None:
+        """Store one record: still exactly one ORAM access.
+
+        The Split protocol's WRITE returns the block's *previous*
+        contents, so the collision check costs no extra access: a prior
+        record with a different fingerprint raises
+        :class:`KeyCollisionError`.
+        """
         encoded = value.encode()
         if len(encoded) > VALUE_BYTES:
             raise ValueError(f"value exceeds {VALUE_BYTES} bytes")
-        block = len(encoded).to_bytes(2, "little") + \
-            encoded.ljust(VALUE_BYTES, b"\0")
-        self._oram.access(self._slot(key), Op.WRITE, block)
+        fingerprint = self._fingerprint(key)
+        block = (fingerprint +
+                 len(encoded).to_bytes(2, "little") +
+                 encoded.ljust(VALUE_BYTES, b"\0"))
+        slot = self._slot(key)
+        previous = self._oram.access(slot, Op.WRITE, block)
+        stored = previous[:FINGERPRINT_BYTES]
+        if stored not in (_EMPTY_FINGERPRINT, fingerprint):
+            raise KeyCollisionError(key, slot)
 
     def get(self, key: str) -> str:
-        block = self._oram.access(self._slot(key), Op.READ)
-        length = int.from_bytes(block[:2], "little")
-        return block[2:2 + length].decode()
+        slot = self._slot(key)
+        block = self._oram.access(slot, Op.READ)
+        stored = block[:FINGERPRINT_BYTES]
+        if stored == _EMPTY_FINGERPRINT:
+            raise KeyError(key)
+        if stored != self._fingerprint(key):
+            raise KeyCollisionError(key, slot)
+        offset = FINGERPRINT_BYTES
+        length = int.from_bytes(block[offset:offset + 2], "little")
+        return block[offset + 2:offset + 2 + length].decode()
 
     @property
     def link_messages(self) -> int:
@@ -89,6 +149,11 @@ def main() -> None:
 
     assert store.get("patient:1003").startswith("diagnosis=asthma")
     assert messages % operations == 0
+    try:
+        store.get("patient:9999")
+    except KeyError:
+        print("Missing keys raise KeyError; colliding keys raise "
+              "KeyCollisionError — never the wrong record.")
     print("\nAll records verified. Access pattern leaked: nothing.")
 
 

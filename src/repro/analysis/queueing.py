@@ -29,14 +29,43 @@ def drain_utilization(drain_probability: float,
 
 
 def mm1k_full_probability(rho: float, capacity: int) -> float:
-    """Stationary P(queue full) for an M/M/1/K queue."""
+    """Stationary P(queue full) for an M/M/1/K queue.
+
+    Computed in the geometric-sum form
+
+        P_K = rho^K / (1 + rho + ... + rho^K),
+
+    which is the stationary distribution's own normalization and is
+    numerically stable through rho = 1.  The textbook closed form
+    ``rho^K (1 - rho) / (1 - rho^(K+1))`` suffers catastrophic
+    cancellation as rho -> 1 (numerator and denominator both -> 0), so a
+    point evaluation near 1 loses most of its significant digits; the sum
+    never subtracts.  For rho > 1 the sum is taken over ``1/rho`` powers
+    instead so no term overflows regardless of K.
+    """
     if rho < 0:
         raise ValueError("utilization must be non-negative")
     if capacity < 1:
         raise ValueError("capacity must be at least 1")
-    if abs(rho - 1.0) < 1e-12:
-        return 1.0 / (capacity + 1)
-    return (rho ** capacity) * (1.0 - rho) / (1.0 - rho ** (capacity + 1))
+    if rho == 0.0:
+        return 0.0
+    if rho <= 1.0:
+        # P_K = rho^K / sum_{i=0}^{K} rho^i; every term is in (0, 1].
+        total = 0.0
+        term = 1.0
+        for _ in range(capacity):
+            total += term
+            term *= rho
+        return term / (total + term)
+    # rho > 1: divide through by rho^K so terms decay instead of growing:
+    # P_K = 1 / sum_{j=0}^{K} rho^(-j).
+    inverse = 1.0 / rho
+    total = 0.0
+    term = 1.0
+    for _ in range(capacity + 1):
+        total += term
+        term *= inverse
+    return 1.0 / total
 
 
 def transfer_queue_overflow_probability(drain_probability: float,

@@ -15,6 +15,11 @@ Subcommands:
   protocol and report detection / recovery / quarantine accounting
   (``docs/faults.md``); exits non-zero if any injected integrity fault
   escaped detection.
+* ``serve-bench`` — open-loop rate sweep through the serving layer
+  (``docs/serving.md``): bounded admission, batching with read
+  coalescing, p50/p95/p99/p999 sojourn times, shed rates against the
+  Section IV-C M/M/1/K prediction; exits non-zero if any report shows
+  the queue-depth bound violated.
 * ``designs`` / ``workloads`` — list what is available.
 * ``lint``     — run reprolint, the repository's own static analyzer
   (obliviousness / constant-time / determinism invariants).
@@ -208,6 +213,53 @@ def cmd_faults(args) -> int:
           else "UNDETECTED integrity faults escaped a verifier",
           file=sys.stderr)
     return 0 if clean else 1
+
+
+def cmd_serve_bench(args) -> int:
+    """Handle ``repro serve-bench``.
+
+    One :class:`~repro.serve.ServeSpec` per (design, rate) pair, swept
+    through :func:`~repro.serve.run_serve_sweep` — cached, parallel with
+    ``--jobs``, byte-identical reports either way.  Exit code 0 requires
+    every report's peak queue depth to respect the admission bound (the
+    backpressure contract: overload sheds, it never buffers unboundedly).
+    """
+    import json
+
+    from repro.serve import ServeSpec, canonical_json, render_table
+    from repro.serve import run_serve_sweep
+
+    designs = list(args.design) if args.design else ["split"]
+    rates = list(args.rates) if args.rates else [0.002, 0.008, 0.02]
+    specs = [ServeSpec(design=design, levels=args.levels, sites=args.sites,
+                       rate=rate, requests=args.requests,
+                       capacity=args.capacity, batch=args.batch,
+                       tenants=args.tenants, arrival=args.arrival,
+                       zipf_exponent=args.zipf,
+                       write_fraction=args.write_fraction,
+                       profile=args.profile, seed=args.seed)
+             for design in designs for rate in rates]
+    reports = run_serve_sweep(specs, jobs=args.jobs,
+                              cache=_sweep_cache(args))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write("[")
+            handle.write(",".join(canonical_json(report)
+                                  for report in reports))
+            handle.write("]\n")
+        print(f"wrote {len(reports)} serving reports to {args.report}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    else:
+        for design in designs:
+            block = [report for report in reports
+                     if report["spec"]["design"] == design]
+            print(render_table(block, title=design))
+    bounded = all(report["queue"]["depth_bounded"] for report in reports)
+    print("queue depth bounded by K everywhere" if bounded
+          else "queue-depth bound VIOLATED", file=sys.stderr)
+    return 0 if bounded else 1
 
 
 def _sweep_cache(args):
@@ -490,6 +542,47 @@ def build_parser() -> argparse.ArgumentParser:
                         help="emit machine-readable reports on stdout")
     concurrency(faults)
     faults.set_defaults(handler=cmd_faults)
+
+    serve = subparsers.add_parser(
+        "serve-bench",
+        help="open-loop serving rate sweep: admission, batching, "
+             "backpressure, SLO quantiles (docs/serving.md)")
+    serve.add_argument("--design", action="append", default=None,
+                       choices=("independent", "split", "indep-split"),
+                       help="protocol to serve through (repeatable; "
+                            "default: split)")
+    serve.add_argument("--rates", type=float, nargs="+", default=None,
+                       metavar="R", help="offered rates in requests per "
+                       "tick (default: 0.002 0.008 0.02)")
+    serve.add_argument("--requests", type=int, default=512,
+                       help="offered requests per point")
+    serve.add_argument("--capacity", type=int, default=32,
+                       help="admission queue capacity K")
+    serve.add_argument("--batch", type=int, default=8,
+                       help="requests drained per scheduling round")
+    serve.add_argument("--tenants", type=int, default=1,
+                       help="independent tenant streams sharing the rate")
+    serve.add_argument("--arrival", default="poisson",
+                       choices=("poisson", "burst", "uniform"))
+    serve.add_argument("--zipf", type=float, default=0.0,
+                       help="Zipf exponent over each tenant's addresses "
+                            "(0 = uniform)")
+    serve.add_argument("--write-fraction", type=float, default=0.25)
+    serve.add_argument("--profile", default=None,
+                       help="borrow a workload profile's locality knobs "
+                            "(see `repro workloads`)")
+    serve.add_argument("--levels", type=int, default=9)
+    serve.add_argument("--sites", type=int, default=2,
+                       help="SDIMM count (independent) or group count "
+                            "(indep-split)")
+    serve.add_argument("--seed", type=int, default=2018)
+    serve.add_argument("--report", default=None, metavar="FILE",
+                       help="write the canonical JSON reports "
+                            "(byte-identical across --jobs and replays)")
+    serve.add_argument("--json", action="store_true",
+                       help="emit machine-readable reports on stdout")
+    concurrency(serve)
+    serve.set_defaults(handler=cmd_serve_bench)
 
     lint = subparsers.add_parser(
         "lint", help="run reprolint over source trees")

@@ -81,16 +81,20 @@ class TransferQueue:
         decision (the caller must then perform one dummy ``accessORAM`` and
         call :meth:`service`).
 
+        A blocked arrival still counts as an arrival — an M/M/1/K overflow
+        probability is P(arrival finds the queue full), so the denominator
+        of :attr:`overflow_rate` must include the arrivals that bounced.
+
         Raises:
             TransferQueueOverflow: if the queue is already full.
         """
+        self.arrivals += 1
         if len(self._queue) >= self.capacity:
             self.overflows += 1
             raise TransferQueueOverflow(
                 f"transfer queue full at capacity {self.capacity}",
                 capacity=self.capacity, occupancy=len(self._queue))
         self._queue.append(block)
-        self.arrivals += 1
         self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
         return self._rng.bernoulli(self.drain_probability)
 
@@ -108,6 +112,23 @@ class TransferQueue:
         return list(self._queue)
 
     @property
-    def utilization_estimate(self) -> float:
-        """rho = 0.25 / (0.25 + p), the paper's M/M/1/K utilization."""
-        return 0.25 / (0.25 + self.drain_probability)
+    def overflow_rate(self) -> float:
+        """Fraction of arrivals that found the queue full.
+
+        Comparable to
+        :func:`repro.analysis.queueing.transfer_queue_overflow_probability`
+        at matched (p, K) once enough arrivals have been observed.
+        """
+        return self.overflows / self.arrivals if self.arrivals else 0.0
+
+    def utilization_estimate(self, arrival_rate: float = 0.25) -> float:
+        """rho = arrival / (arrival + p), the paper's M/M/1/K utilization.
+
+        Delegates to :func:`repro.analysis.queueing.drain_utilization`, so
+        the queue's own estimate and the analytical model can never drift
+        apart.  The default arrival rate is the paper's 1/4 (one migration
+        per four accesses).
+        """
+        from repro.analysis.queueing import drain_utilization
+
+        return drain_utilization(self.drain_probability, arrival_rate)

@@ -133,6 +133,10 @@ class Gauge:
             self.minimum = min(self.minimum, value)
             self.maximum = max(self.maximum, value)
 
+    def adjust(self, delta: int) -> None:
+        """Shift the gauge by ``delta`` (queue depths, in-flight counts)."""
+        self.set(self.value + delta)
+
 
 class Histogram:
     """Power-of-two bucketed latency/size histogram."""

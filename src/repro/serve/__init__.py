@@ -1,0 +1,61 @@
+"""repro.serve — the open-loop request-serving layer (docs/serving.md).
+
+Load generation (:mod:`~repro.serve.loadgen`), the bounded batching
+scheduler with backpressure (:mod:`~repro.serve.scheduler`), SLO
+reporting against the Section IV-C queueing model
+(:mod:`~repro.serve.slo`), and cached parallel rate sweeps
+(:mod:`~repro.serve.bench`) behind ``python -m repro serve-bench``.
+"""
+
+from repro.serve.bench import (
+    ServeSpec,
+    build_serving_protocol,
+    generate_requests,
+    run_serve,
+    run_serve_sweep,
+    serve_cache_key,
+)
+from repro.serve.loadgen import (
+    Request,
+    TenantSpec,
+    generate_stream,
+    merge_streams,
+    offered_load,
+    tenant_from_profile,
+)
+from repro.serve.scheduler import (
+    AdmissionRejected,
+    BatchingScheduler,
+    Completion,
+    SchedulerOutcome,
+)
+from repro.serve.slo import (
+    REPORT_SCHEMA,
+    build_report,
+    canonical_json,
+    compare_with_model,
+    render_table,
+)
+
+__all__ = [
+    "AdmissionRejected",
+    "BatchingScheduler",
+    "Completion",
+    "REPORT_SCHEMA",
+    "Request",
+    "SchedulerOutcome",
+    "ServeSpec",
+    "TenantSpec",
+    "build_report",
+    "build_serving_protocol",
+    "canonical_json",
+    "compare_with_model",
+    "generate_requests",
+    "generate_stream",
+    "merge_streams",
+    "offered_load",
+    "run_serve",
+    "run_serve_sweep",
+    "serve_cache_key",
+    "tenant_from_profile",
+]

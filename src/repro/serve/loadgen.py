@@ -1,0 +1,190 @@
+"""Open-loop load generation: who asks for what, and when.
+
+The reproduction's simulator replays *closed-loop* traces — the next miss
+waits for the previous one.  A service in front of millions of users sees
+the opposite regime: requests arrive at an offered *rate* whether or not
+the ORAM backend keeps up, which is exactly why Section IV-C models the
+transfer queue as an M/M/1/K system.  This module produces such open-loop
+request streams:
+
+* **arrival processes** — Poisson (exponential inter-arrivals), bursty
+  (hyperexponential: a fraction of gaps drawn at ``burst_factor`` times
+  the base rate), and uniform (fixed spacing) — all over
+  :class:`~repro.utils.rng.DeterministicRng`, so a stream is a pure
+  function of its spec and seed;
+* **address processes** — Zipf-weighted popularity, a hot set
+  (reusing the ``hot_fraction`` / ``hot_lines`` locality knobs of
+  :mod:`repro.workloads.spec`), or uniform over the tenant's span;
+* **per-tenant streams** — each tenant draws from its own named RNG
+  stream and owns a slice of the address space; streams merge into one
+  timeline with a total, deterministic order.
+
+Times are integer **ticks** on the serving timeline.  One tick is
+calibrated by the scheduler to one link event, so rates are "requests per
+link-event time" — dimensionless and stable across designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.oram.path_oram import Op
+from repro.utils.rng import DeterministicRng, ZipfSampler
+
+_ARRIVALS = ("poisson", "burst", "uniform")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's offered load (picklable, canonical, cache-keyable)."""
+
+    name: str
+    #: mean arrivals per tick; 0 = a silent tenant (legal, yields nothing)
+    rate: float
+    #: how many requests the tenant offers in total
+    requests: int
+    arrival: str = "poisson"
+    #: hyperexponential burst knobs (only read when ``arrival="burst"``)
+    burst_factor: float = 8.0
+    burst_fraction: float = 0.125
+    #: addresses this tenant touches (mapped into [base, base + span))
+    address_span: int = 64
+    #: Zipf exponent over the span; 0 = uniform
+    zipf_exponent: float = 0.0
+    #: fraction of requests aimed at the first ``hot_span`` addresses —
+    #: the ``hot_fraction`` / ``hot_lines`` knobs of ``workloads.spec``
+    hot_fraction: float = 0.0
+    hot_span: int = 16
+    write_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.arrival not in _ARRIVALS:
+            raise ValueError(f"unknown arrival process {self.arrival!r}; "
+                             f"expected one of {_ARRIVALS}")
+        if self.rate < 0:
+            raise ValueError("rate must be non-negative")
+        if self.requests < 0:
+            raise ValueError("request count must be non-negative")
+        if not 0.0 <= self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be a probability")
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be a probability")
+        if self.address_span < 1:
+            raise ValueError("address span must be positive")
+        if not 0 < self.hot_span <= self.address_span:
+            raise ValueError("hot_span must be within the address span")
+        if self.burst_factor < 1.0:
+            raise ValueError("burst_factor must be at least 1")
+        if not 0.0 <= self.burst_fraction <= 1.0:
+            raise ValueError("burst_fraction must be a probability")
+
+
+def tenant_from_profile(name: str, profile_name: str, rate: float,
+                        requests: int, address_span: int = 64,
+                        arrival: str = "poisson") -> TenantSpec:
+    """Borrow a workload profile's locality knobs for a tenant.
+
+    Maps ``hot_fraction`` directly and scales ``hot_lines`` into the
+    tenant's span, so a "mcf-like" tenant hammers a hot set the way the
+    closed-loop mcf miss stream does.
+    """
+    from repro.workloads.spec import get_profile
+
+    profile = get_profile(profile_name)
+    hot_span = max(1, min(address_span,
+                          address_span * profile.hot_lines // 65_536))
+    return TenantSpec(name=name, rate=rate, requests=requests,
+                      arrival=arrival, address_span=address_span,
+                      hot_fraction=profile.hot_fraction,
+                      hot_span=hot_span,
+                      write_fraction=profile.write_fraction)
+
+
+@dataclass(frozen=True)
+class Request:
+    """One offered request on the serving timeline."""
+
+    arrival: int          # tick the request enters the system
+    tenant: str
+    sequence: int         # per-tenant issue index (ties break by name,seq)
+    address: int
+    op: Op
+    data: Optional[bytes] = None
+
+
+def _payload(tenant: str, sequence: int, block_bytes: int) -> bytes:
+    """A deterministic, per-request write payload."""
+    import hashlib
+
+    seed = hashlib.sha256(f"{tenant}:{sequence}".encode()).digest()
+    repeats = (block_bytes + len(seed) - 1) // len(seed)
+    return (seed * repeats)[:block_bytes]
+
+
+def _inter_arrival(spec: TenantSpec, rng: DeterministicRng) -> float:
+    if spec.arrival == "uniform":
+        return 1.0 / spec.rate
+    if spec.arrival == "burst" and rng.bernoulli(spec.burst_fraction):
+        return rng.expovariate(spec.rate * spec.burst_factor)
+    return rng.expovariate(spec.rate)
+
+
+def generate_stream(spec: TenantSpec, seed: int, base_address: int,
+                    address_limit: int, block_bytes: int) -> List[Request]:
+    """One tenant's request list, sorted by arrival tick.
+
+    ``base_address`` places the tenant's span inside the protocol's
+    address space; addresses wrap at ``address_limit`` so a spec never
+    exceeds the backing ORAM.
+    """
+    if spec.rate == 0.0 or spec.requests == 0:
+        return []
+    timing = DeterministicRng(seed, f"serve/arrivals/{spec.name}")
+    addressing = DeterministicRng(seed, f"serve/addresses/{spec.name}")
+    zipf = (ZipfSampler(addressing, spec.address_span, spec.zipf_exponent)
+            if spec.zipf_exponent > 0.0 else None)
+    requests: List[Request] = []
+    clock = 0.0
+    for sequence in range(spec.requests):
+        clock += _inter_arrival(spec, timing)
+        if spec.hot_fraction and addressing.bernoulli(spec.hot_fraction):
+            offset = addressing.randrange(spec.hot_span)
+        elif zipf is not None:
+            offset = zipf.sample()
+        else:
+            offset = addressing.randrange(spec.address_span)
+        address = (base_address + offset) % address_limit
+        if spec.write_fraction and addressing.bernoulli(spec.write_fraction):
+            op, data = Op.WRITE, _payload(spec.name, sequence, block_bytes)
+        else:
+            op, data = Op.READ, None
+        requests.append(Request(arrival=int(clock), tenant=spec.name,
+                                sequence=sequence, address=address,
+                                op=op, data=data))
+    return requests
+
+
+def merge_streams(streams: Iterable[List[Request]]) -> List[Request]:
+    """One total-ordered timeline: (arrival, tenant, sequence).
+
+    The tie-break is part of the determinism contract — two tenants
+    arriving on the same tick always serialize the same way, so reports
+    are byte-identical no matter how streams were generated or stored.
+    """
+    keyed: List[Tuple[int, str, int, Request]] = []
+    for stream in streams:
+        for request in stream:
+            keyed.append((request.arrival, request.tenant,
+                          request.sequence, request))
+    keyed.sort(key=lambda entry: entry[:3])
+    return [entry[3] for entry in keyed]
+
+
+def offered_load(streams: Iterable[List[Request]]) -> float:
+    """Aggregate offered arrival rate (requests per tick) of a timeline."""
+    requests = [r for stream in streams for r in stream]
+    if not requests:
+        return 0.0
+    horizon = max(request.arrival for request in requests)
+    return len(requests) / horizon if horizon else float(len(requests))

@@ -1,0 +1,285 @@
+"""The serving core: bounded admission, batching, and backpressure.
+
+A single ORAM backend is one server — every access costs the same fixed
+link shape (that *is* the obliviousness property), so the serving system
+is an M/D/1/K-style queue: Markovian arrivals, near-deterministic
+service, K waiting slots.  This module implements that queue explicitly:
+
+* **bounded admission** — an arrival that finds ``queue_capacity``
+  requests already waiting is *shed* with a structured
+  :class:`AdmissionRejected` record, never buffered unboundedly.  Path
+  ORAM's stash bound argument assumes overload is shed, not deferred;
+  the same discipline applies one layer up.
+* **batching with read coalescing** — the scheduler drains up to
+  ``batch_size`` waiting requests at a time and collapses duplicate
+  reads of one address into a single protocol access whose bytes fan
+  out to every rider.  Coalescing is correctness-preserving by
+  construction: a write to the address republishes the bytes later
+  riders must see, and the scheduler replays program order within the
+  batch.
+* **service-time calibration** — the cost of a batch is measured off the
+  protocol's own :class:`~repro.core.secure_buffer.LinkRecorder` (link
+  events per access are constant per design), so one tick on the serving
+  timeline equals one link event and utilization is dimensionless.
+
+Everything is deterministic: same protocol, same request list, same
+outcome, byte for byte.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.oram.path_oram import Op
+from repro.serve.loadgen import Request
+from repro.sim.stats import LatencyStats
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass(frozen=True)
+class AdmissionRejected:
+    """One shed arrival: the structured record backpressure leaves behind.
+
+    Everything a retry layer or an SLO postmortem needs: who was turned
+    away, when, and what the queue looked like at that instant.
+    """
+
+    tenant: str
+    sequence: int
+    arrival: int
+    queue_depth: int
+    capacity: int
+    reason: str = "queue-full"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"tenant": self.tenant, "sequence": self.sequence,
+                "arrival": self.arrival, "queue_depth": self.queue_depth,
+                "capacity": self.capacity, "reason": self.reason}
+
+
+@dataclass
+class Completion:
+    """One served request, with its sojourn accounting."""
+
+    request: Request
+    start: int          # tick its batch began service
+    finish: int         # tick its batch completed
+    coalesced: bool     # True = served from a batch-mate's access
+
+    @property
+    def sojourn(self) -> int:
+        return self.finish - self.request.arrival
+
+
+@dataclass
+class SchedulerOutcome:
+    """Everything one serving run produced."""
+
+    completions: List[Completion]
+    shed: List[AdmissionRejected]
+    offered: int
+    batches: int
+    accesses: int
+    coalesced: int
+    busy_ticks: int
+    elapsed_ticks: int
+    peak_depth: int
+    sojourn: LatencyStats
+    per_tenant: Dict[str, LatencyStats]
+    #: bytes returned per (tenant, sequence) — coalescing-correctness probe
+    read_bytes: Dict[object, bytes]
+
+    @property
+    def admitted(self) -> int:
+        return self.offered - len(self.shed)
+
+    @property
+    def shed_rate(self) -> float:
+        return len(self.shed) / self.offered if self.offered else 0.0
+
+    @property
+    def utilization(self) -> float:
+        return (self.busy_ticks / self.elapsed_ticks
+                if self.elapsed_ticks else 0.0)
+
+    @property
+    def ticks_per_access(self) -> float:
+        return (self.busy_ticks / self.accesses
+                if self.accesses else 0.0)
+
+
+class BatchingScheduler:
+    """Single-server bounded queue draining an ORAM protocol.
+
+    ``protocol`` is any of the three SDIMM protocols (or a raw
+    ``PathOram``-compatible object): it must expose
+    ``access(address, op, data=None) -> bytes`` and, for link-calibrated
+    service timing, a ``link`` recorder with ``record_link=True``.
+    Without a link recorder each access costs ``fallback_access_ticks``.
+    """
+
+    def __init__(self, protocol, queue_capacity: int, batch_size: int = 1,
+                 metrics: Optional[MetricsRegistry] = None,
+                 ticks_per_link_event: int = 1,
+                 fallback_access_ticks: int = 64,
+                 keep_read_bytes: bool = False,
+                 sample_seed: int = 2018):
+        if queue_capacity < 1:
+            raise ValueError("admission queue needs capacity >= 1")
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        if ticks_per_link_event < 1:
+            raise ValueError("ticks per link event must be positive")
+        self.protocol = protocol
+        self.queue_capacity = queue_capacity
+        self.batch_size = batch_size
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ticks_per_link_event = ticks_per_link_event
+        self.fallback_access_ticks = fallback_access_ticks
+        self.keep_read_bytes = keep_read_bytes
+        self._sample_seed = sample_seed
+        link = getattr(protocol, "link", None)
+        self._link = link if (link is not None and
+                              getattr(link, "enabled", False)) else None
+
+    # ------------------------------------------------------------------
+
+    def _access_cost(self, count: int) -> int:
+        """Ticks spent performing ``count`` protocol accesses."""
+        if self._link is None:
+            return count * self.fallback_access_ticks
+        events = len(self._link.events)
+        # The recorder only exists to meter service time here; clearing it
+        # after each reading keeps a long serving run O(batch) in memory.
+        self._link.clear()
+        return max(count, events * self.ticks_per_link_event)
+
+    def _serve_batch(self, batch: List[Request]):
+        """Issue a batch in arrival order, coalescing duplicate reads.
+
+        Returns ``(served, coalesced_keys, accesses)``: the bytes served
+        to every read keyed by (tenant, sequence), which of those rode a
+        batch-mate's access, and how many protocol accesses were spent.
+        A write republishes its payload into the coalescing window, so
+        later same-address reads observe it exactly as an un-coalesced
+        replay would.
+        """
+        if self._link is not None:
+            self._link.clear()
+        served: Dict[object, bytes] = {}
+        coalesced_keys = set()
+        accesses = 0
+        window: Dict[int, bytes] = {}
+        for request in batch:
+            key = (request.tenant, request.sequence)
+            if request.op is Op.WRITE:
+                self.protocol.access(request.address, Op.WRITE,
+                                     request.data)
+                window[request.address] = request.data
+                accesses += 1
+            elif request.address in window:
+                served[key] = window[request.address]
+                coalesced_keys.add(key)
+            else:
+                data = self.protocol.access(request.address, Op.READ)
+                window[request.address] = data
+                served[key] = data
+                accesses += 1
+        return served, coalesced_keys, accesses
+
+    # ------------------------------------------------------------------
+
+    def run(self, requests: List[Request]) -> SchedulerOutcome:
+        """Drain one open-loop timeline through the protocol.
+
+        Event-driven single-server loop: batches that complete before the
+        next arrival are retired first, then the arrival is admitted or
+        shed against the bounded queue.
+        """
+        depth_gauge = self.metrics.gauge("serve/queue_depth")
+        admitted_counter = self.metrics.counter("serve/admitted")
+        shed_counter = self.metrics.counter("serve/shed")
+        coalesced_counter = self.metrics.counter("serve/coalesced")
+        batch_counter = self.metrics.counter("serve/batches")
+        access_counter = self.metrics.counter("serve/accesses")
+
+        waiting: Deque[Request] = deque()
+        completions: List[Completion] = []
+        shed: List[AdmissionRejected] = []
+        read_bytes: Dict[object, bytes] = {}
+        sojourn = LatencyStats(
+            sample_rng=DeterministicRng(self._sample_seed, "serve/sojourn"))
+        per_tenant: Dict[str, LatencyStats] = {}
+        server_free = 0
+        busy_ticks = 0
+        batches = 0
+        accesses = 0
+        coalesced = 0
+        peak_depth = 0
+
+        def drain_until(horizon: Optional[int]) -> None:
+            """Retire batches completing before ``horizon`` (None = all)."""
+            nonlocal server_free, busy_ticks, batches, accesses, coalesced
+            while waiting and (horizon is None or server_free <= horizon):
+                start = max(server_free, waiting[0].arrival)
+                if horizon is not None and start > horizon:
+                    break
+                batch = [waiting.popleft()
+                         for _ in range(min(self.batch_size, len(waiting)))]
+                depth_gauge.adjust(-len(batch))
+                served, coalesced_keys, batch_accesses = \
+                    self._serve_batch(batch)
+                cost = self._access_cost(batch_accesses)
+                finish = start + cost
+                for request in batch:
+                    key = (request.tenant, request.sequence)
+                    record = Completion(request=request, start=start,
+                                        finish=finish,
+                                        coalesced=key in coalesced_keys)
+                    completions.append(record)
+                    sojourn.record(record.sojourn)
+                    per_tenant.setdefault(
+                        request.tenant,
+                        LatencyStats(sample_rng=DeterministicRng(
+                            self._sample_seed,
+                            f"serve/sojourn/{request.tenant}"))
+                    ).record(record.sojourn)
+                    if self.keep_read_bytes and key in served:
+                        read_bytes[key] = served[key]
+                busy_ticks += cost
+                batches += 1
+                accesses += batch_accesses
+                coalesced += len(coalesced_keys)
+                batch_counter.inc()
+                access_counter.inc(batch_accesses)
+                coalesced_counter.inc(len(coalesced_keys))
+                server_free = finish
+
+        for request in requests:
+            drain_until(request.arrival)
+            if len(waiting) >= self.queue_capacity:
+                record = AdmissionRejected(
+                    tenant=request.tenant, sequence=request.sequence,
+                    arrival=request.arrival, queue_depth=len(waiting),
+                    capacity=self.queue_capacity)
+                shed.append(record)
+                shed_counter.inc()
+                continue
+            waiting.append(request)
+            admitted_counter.inc()
+            depth_gauge.adjust(1)
+            peak_depth = max(peak_depth, len(waiting))
+        drain_until(None)
+
+        elapsed = server_free
+        if requests and not elapsed:
+            elapsed = max(request.arrival for request in requests)
+        return SchedulerOutcome(
+            completions=completions, shed=shed, offered=len(requests),
+            batches=batches, accesses=accesses, coalesced=coalesced,
+            busy_ticks=busy_ticks, elapsed_ticks=elapsed,
+            peak_depth=peak_depth, sojourn=sojourn,
+            per_tenant=per_tenant, read_bytes=read_bytes)

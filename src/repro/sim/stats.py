@@ -59,6 +59,25 @@ class LatencyStats:
         rank = math.ceil(fraction * len(ordered))
         return ordered[max(0, rank - 1)]
 
+    def summary(self) -> Dict[str, object]:
+        """The SLO quantile ladder as one JSON-friendly dict.
+
+        One sort serves every quantile (``percentile`` re-sorts per call),
+        so per-tenant SLO reports stay cheap even at large sample counts.
+        """
+        if not self.samples:
+            return {"count": self.count, "mean": 0.0, "max": 0,
+                    "p50": 0, "p95": 0, "p99": 0, "p999": 0}
+        ordered = sorted(self.samples)
+        size = len(ordered)
+
+        def rank(fraction: float) -> int:
+            return ordered[max(0, math.ceil(fraction * size) - 1)]
+
+        return {"count": self.count, "mean": self.mean,
+                "max": self.maximum, "p50": rank(0.50), "p95": rank(0.95),
+                "p99": rank(0.99), "p999": rank(0.999)}
+
 
 @dataclass
 class RunResult:

@@ -130,6 +130,44 @@ class TestQueueing:
         probability = mm1k_full_probability(rho, capacity)
         assert 0.0 <= probability <= 1.0
 
+    @staticmethod
+    def _exact_full_probability(rho, capacity):
+        """rho^K / sum(rho^i) in exact rational arithmetic."""
+        from fractions import Fraction
+
+        exact_rho = Fraction(rho)
+        total = sum(exact_rho ** index for index in range(capacity + 1))
+        return float(exact_rho ** capacity / total)
+
+    @given(st.floats(min_value=0.9999, max_value=1.0001),
+           st.integers(min_value=1, max_value=256))
+    @settings(max_examples=200)
+    def test_stable_through_rho_one(self, rho, capacity):
+        """No catastrophic cancellation as rho -> 1.
+
+        The old closed form ``rho^K (1-rho) / (1-rho^(K+1))`` loses most
+        of its significant digits in this band (both numerator and
+        denominator -> 0) and relied on a 1e-12 exact-equality escape
+        hatch; the geometric-sum rewrite must match the exact stationary
+        distribution, computed with Fractions, to float precision.
+        """
+        probability = mm1k_full_probability(rho, capacity)
+        exact = self._exact_full_probability(rho, capacity)
+        assert probability == pytest.approx(exact, rel=1e-12, abs=1e-15)
+
+    def test_exactly_one_needs_no_escape_hatch(self):
+        for capacity in (1, 7, 100):
+            assert mm1k_full_probability(1.0, capacity) == \
+                pytest.approx(1.0 / (capacity + 1), rel=1e-15)
+
+    def test_supercritical_rho_is_finite_and_monotone(self):
+        """rho > 1 must not overflow for large K and must exceed 1-1/rho."""
+        values = [mm1k_full_probability(rho, 512)
+                  for rho in (1.0001, 1.5, 4.0, 100.0)]
+        assert all(0.0 < value <= 1.0 for value in values)
+        assert values == sorted(values)
+        assert mm1k_full_probability(2.0, 512) == pytest.approx(0.5)
+
     def test_rejects_bad_arguments(self):
         with pytest.raises(ValueError):
             drain_utilization(-0.1)

@@ -56,3 +56,71 @@ class TestExamples:
         assert "Figure 6" in result.stdout
         assert "Figure 13" in result.stdout
         assert "mm^2" in result.stdout
+
+
+def _load_kv_module():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "secure_key_value_store",
+        os.path.join(EXAMPLES_DIR, "secure_key_value_store.py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _colliding_keys(kv_module, capacity):
+    """Two distinct keys hashing to the same slot (deterministic scan)."""
+    store = kv_module.ObliviousKvStore(capacity_blocks=capacity)
+    seen = {}
+    for index in range(10 * capacity):
+        key = f"key-{index}"
+        slot = store._slot(key)
+        if slot in seen:
+            return seen[slot], key
+        seen[slot] = key
+    raise AssertionError("no collision found — scan bound too small")
+
+
+class TestKvStoreCollisions:
+    """Regression: two keys in the same slot must never swap records.
+
+    The old code stored no key identity in the block, so a colliding
+    ``put`` silently overwrote the other key's record and ``get``
+    returned the wrong data with no error.  Both tests fail on that code.
+    """
+
+    CAPACITY = 64
+
+    def test_colliding_get_raises_instead_of_wrong_record(self):
+        kv = _load_kv_module()
+        first, second = _colliding_keys(kv, self.CAPACITY)
+        store = kv.ObliviousKvStore(capacity_blocks=self.CAPACITY)
+        store.put(first, "record-of-first")
+        with pytest.raises(kv.KeyCollisionError) as excinfo:
+            store.get(second)
+        assert excinfo.value.key == second
+
+    def test_colliding_put_raises_instead_of_silent_overwrite(self):
+        kv = _load_kv_module()
+        first, second = _colliding_keys(kv, self.CAPACITY)
+        store = kv.ObliviousKvStore(capacity_blocks=self.CAPACITY)
+        store.put(first, "record-of-first")
+        with pytest.raises(kv.KeyCollisionError):
+            store.put(second, "record-of-second")
+
+    def test_non_colliding_operations_still_work(self):
+        kv = _load_kv_module()
+        store = kv.ObliviousKvStore(capacity_blocks=self.CAPACITY)
+        store.put("alpha", "value-alpha")
+        store.put("beta", "value-beta")
+        assert store.get("alpha") == "value-alpha"
+        assert store.get("beta") == "value-beta"
+        store.put("alpha", "value-alpha-2")
+        assert store.get("alpha") == "value-alpha-2"
+
+    def test_missing_key_raises_key_error(self):
+        kv = _load_kv_module()
+        store = kv.ObliviousKvStore(capacity_blocks=self.CAPACITY)
+        with pytest.raises(KeyError):
+            store.get("never-written")

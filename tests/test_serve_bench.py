@@ -1,0 +1,139 @@
+"""End-to-end serving benchmark tests: determinism, caching, the model."""
+
+import pytest
+
+from repro.analysis.queueing import mm1k_full_probability
+from repro.parallel.cache import RunCache
+from repro.serve.bench import (
+    ServeSpec,
+    generate_requests,
+    run_serve,
+    run_serve_sweep,
+    serve_cache_key,
+)
+from repro.serve.slo import canonical_json, compare_with_model
+
+SMALL = dict(levels=5, requests=64, capacity=16, batch=4, seed=2018)
+
+
+def render(reports):
+    """The exact bytes ``serve-bench --report`` writes."""
+    return "[" + ",".join(canonical_json(report) for report in reports) + "]\n"
+
+
+class TestServeSpec:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            ServeSpec(design="mystery")
+        with pytest.raises(ValueError):
+            ServeSpec(rate=-1.0)
+        with pytest.raises(ValueError):
+            ServeSpec(capacity=0)
+        with pytest.raises(ValueError):
+            ServeSpec(tenants=0)
+
+    def test_round_trips_through_dict(self):
+        spec = ServeSpec(design="independent", rate=0.01, tenants=3,
+                         profile="mcf", **SMALL)
+        assert ServeSpec.from_dict(spec.to_dict()) == spec
+
+    def test_address_limit_matches_tree(self):
+        assert ServeSpec(levels=9).address_limit == 256
+
+    def test_tenants_partition_load(self):
+        spec = ServeSpec(rate=0.03, tenants=3, **SMALL)
+        tenant_specs = spec.tenant_specs()
+        assert len(tenant_specs) == 3
+        assert sum(t.rate for t in tenant_specs) == pytest.approx(0.03)
+        assert sum(t.requests for t in tenant_specs) == spec.requests
+        requests = generate_requests(spec)
+        assert {r.tenant for r in requests} == {"t0", "t1", "t2"}
+        assert all(r.address < spec.address_limit for r in requests)
+
+
+class TestRunServe:
+    def test_zero_rate_is_an_empty_report(self):
+        report = run_serve(ServeSpec(rate=0.0, **SMALL))
+        assert report["totals"]["offered"] == 0
+        assert report["totals"]["shed"] == 0
+        assert report["queue"]["depth_bounded"] is True
+        assert report["sojourn"]["aggregate"]["count"] == 0
+
+    def test_same_spec_same_bytes(self):
+        spec = ServeSpec(rate=0.01, write_fraction=0.5, **SMALL)
+        assert canonical_json(run_serve(spec)) == \
+            canonical_json(run_serve(spec))
+
+    def test_underload_is_stable(self):
+        report = run_serve(ServeSpec(rate=0.005, **SMALL))
+        assert report["model"]["rho_offered"] < 1.0
+        assert report["totals"]["shed"] == 0
+        assert report["queue"]["depth_bounded"] is True
+        assert report["sojourn"]["aggregate"]["count"] == \
+            report["totals"]["completed"]
+
+    def test_saturation_sheds_without_traceback(self):
+        spec = ServeSpec(rate=0.5, requests=200, levels=5, capacity=8,
+                         batch=1, seed=2018)
+        report = run_serve(spec)
+        assert report["model"]["rho_offered"] > 1.0
+        assert report["totals"]["shed"] > 0
+        assert report["queue"]["peak_depth"] <= spec.capacity
+        assert report["queue"]["depth_bounded"] is True
+        records = report["shed_records"]
+        assert len(records) == report["totals"]["shed"]
+        assert all(record["reason"] == "queue-full" for record in records)
+
+    def test_overload_shed_tracks_mm1k_envelope(self):
+        """Deep overload: shed rate approaches 1 - 1/rho for any service
+        distribution, so the M/M/1/K reference must sit nearby."""
+        spec = ServeSpec(rate=0.5, requests=400, levels=5, capacity=8,
+                         batch=1, seed=2018)
+        comparison = compare_with_model(run_serve(spec))
+        assert comparison["rho"] > 1.0
+        assert comparison["measured_shed_rate"] == pytest.approx(
+            comparison["predicted_full_probability"], abs=0.15)
+        assert comparison["predicted_full_probability"] == pytest.approx(
+            mm1k_full_probability(comparison["rho"], spec.capacity))
+
+    def test_coalescing_preserves_read_bytes(self):
+        """Batched (coalescing) and serial (no coalescing) runs of the
+        same hot-set stream return identical bytes to every read."""
+        hot = dict(rate=0.05, levels=5, requests=96, capacity=64,
+                   zipf_exponent=1.4, write_fraction=0.3, seed=2018)
+        batched = run_serve(ServeSpec(batch=8, **hot), keep_read_bytes=True)
+        serial = run_serve(ServeSpec(batch=1, **hot), keep_read_bytes=True)
+        assert batched["totals"]["coalesced"] > 0
+        assert serial["totals"]["coalesced"] == 0
+        assert batched["_read_bytes"] == serial["_read_bytes"]
+        # coalescing saved real protocol work
+        assert batched["totals"]["accesses"] < serial["totals"]["accesses"]
+
+
+class TestSweepDeterminism:
+    def specs(self):
+        return [ServeSpec(design=design, rate=rate, **SMALL)
+                for design in ("independent", "split")
+                for rate in (0.005, 0.02)]
+
+    def test_jobs_one_vs_four_byte_identical(self):
+        serial = run_serve_sweep(self.specs(), jobs=1)
+        fanned = run_serve_sweep(self.specs(), jobs=4)
+        assert render(serial) == render(fanned)
+
+    def test_cached_replay_byte_identical(self, tmp_path):
+        cache = RunCache(str(tmp_path / "serve-cache"))
+        first = run_serve_sweep(self.specs(), jobs=2, cache=cache)
+        misses = cache.stats.misses
+        replay = run_serve_sweep(self.specs(), jobs=1, cache=cache)
+        assert render(first) == render(replay)
+        assert cache.stats.misses == misses      # replay was all hits
+        assert cache.stats.hits >= len(self.specs())
+
+    def test_cache_key_separates_specs(self):
+        a, b = self.specs()[:2]
+        fingerprint = "f" * 64
+        assert serve_cache_key(a, fingerprint=fingerprint) != \
+            serve_cache_key(b, fingerprint=fingerprint)
+        assert serve_cache_key(a, fingerprint=fingerprint) == \
+            serve_cache_key(a, fingerprint=fingerprint)

@@ -34,6 +34,25 @@ class TestTransferQueue:
             queue.push(block(3))
         assert queue.overflows == 1
 
+    def test_overflow_counts_the_arrival(self):
+        """A blocked arrival is still an arrival (M/M/1/K blocking).
+
+        The old code bumped ``overflows`` without counting the arrival, so
+        ``overflows / arrivals`` overstated the overflow rate — and divided
+        by zero when the very first arrival bounced.
+        """
+        queue = make_queue(capacity=1)
+        queue.push(block(1))
+        for attempt in range(3):
+            with pytest.raises(TransferQueueOverflow):
+                queue.push(block(2 + attempt))
+        assert queue.arrivals == 4
+        assert queue.overflows == 3
+        assert queue.overflow_rate == pytest.approx(0.75)
+
+    def test_overflow_rate_defined_before_any_arrival(self):
+        assert make_queue().overflow_rate == 0.0
+
     def test_contains_and_find(self):
         queue = make_queue()
         queue.push(block(7, leaf=3))
@@ -77,9 +96,45 @@ class TestTransferQueue:
         assert queue.peak_occupancy == 1
 
     def test_utilization_formula(self):
-        assert make_queue(p=0.05).utilization_estimate == \
+        assert make_queue(p=0.05).utilization_estimate() == \
             pytest.approx(0.25 / 0.30)
-        assert make_queue(p=0.0).utilization_estimate == 1.0
+        assert make_queue(p=0.0).utilization_estimate() == 1.0
+
+    def test_utilization_takes_arrival_rate(self):
+        """No hardcoded 0.25: the estimate must agree with the model."""
+        from repro.analysis.queueing import drain_utilization
+
+        queue = make_queue(p=0.1)
+        for rate in (0.1, 0.25, 0.5):
+            assert queue.utilization_estimate(rate) == \
+                pytest.approx(drain_utilization(0.1, rate))
+        assert queue.utilization_estimate(0.5) == pytest.approx(0.5 / 0.6)
+
+    def test_measured_overflow_rate_matches_mm1k_model(self):
+        """Acceptance: measured overflow at matched (p, K) tracks the
+        corrected analytical prediction.
+
+        Drives the queue as a slotted birth-death chain — per slot an
+        arrival w.p. ``a`` and an independent service opportunity w.p.
+        ``s`` — whose stationary full-state probability approaches the
+        M/M/1/K value for small slot probabilities (rho = a/s).
+        """
+        from repro.analysis.queueing import mm1k_full_probability
+
+        arrival_p, service_p, capacity = 0.05, 0.1, 4
+        queue = make_queue(capacity=capacity, p=0.0, seed=7)
+        chance = DeterministicRng(11, "chain")
+        for step in range(400_000):
+            if chance.bernoulli(arrival_p):
+                try:
+                    queue.push(block(step))
+                except TransferQueueOverflow:
+                    pass
+            if chance.bernoulli(service_p):
+                queue.service(via_drain=True)
+        predicted = mm1k_full_probability(arrival_p / service_p, capacity)
+        assert queue.arrivals > 0
+        assert queue.overflow_rate == pytest.approx(predicted, rel=0.2)
 
     def test_rejects_bad_parameters(self):
         with pytest.raises(ValueError):
