@@ -84,7 +84,7 @@ class SplitGroup:
     def access(self, address: int, old_global_leaf: int, op: Op,
                data: Optional[bytes]) -> "GroupOutcome":
         """An Independent-style access executed split-wise in the group."""
-        if self.owner_of(old_global_leaf) != self.group_id:  # reprolint: disable=SEC002 -- sanity assert; owner(leaf) is the public routing fact (threat_model.md: destination randomness)
+        if self.owner_of(old_global_leaf) != self.group_id:
             raise ValueError(f"leaf {old_global_leaf} not owned by "
                              f"group {self.group_id}")
         self.accesses += 1
@@ -105,11 +105,11 @@ class SplitGroup:
         stays = self.owner_of(new_global_leaf) == self.group_id
         result = split.access(
             address, op, data,
-            override_new_leaf=self._local(new_global_leaf) if stays else None,  # reprolint: disable=SEC002 -- migration is hidden by the all-ways APPEND broadcast
+            override_new_leaf=self._local(new_global_leaf) if stays else None,
             remove_after=not stays,
         )
         moved: Optional[Block] = None
-        if not stays:  # reprolint: disable=SEC002 -- migration is hidden by the all-ways APPEND broadcast
+        if not stays:
             payload = data if op is Op.WRITE else result
             moved = Block(address, new_global_leaf, payload)
             # A departure opens a stash vacancy; fill it from the queue.
@@ -271,7 +271,7 @@ class IndepSplitProtocol:
         self.accesses += 1
         old_leaf = self.posmap.lookup(address)
         owner = self.groups[0].owner_of(old_leaf)
-        if owner in self.quarantined:  # reprolint: disable=SEC002 -- a failed group is physically observable; the degraded path emits the identical link shape
+        if owner in self.quarantined:  # reprolint: disable=SEC003 -- owner is leaf-derived but a failed group is physically observable to any adversary; the degraded path emits the identical link shape, so this branch reveals nothing beyond the (public) failure itself
             return self._degraded_access(address, owner)
         traced = self.tracer.enabled
         lane = "indep-split"
@@ -292,7 +292,7 @@ class IndepSplitProtocol:
         start = self.clock.now
         new_owner = self.groups[0].owner_of(outcome.new_global_leaf)
         for index, group in enumerate(self.groups):
-            payload = (outcome.moved_block  # reprolint: disable=SEC002 -- every group gets an APPEND; real-vs-dummy is under the link encryption
+            payload = (outcome.moved_block
                        if index == new_owner and outcome.moved_block
                        else None)
             self.link.up(SdimmCommand.APPEND, index, self.block_bytes)

@@ -111,7 +111,7 @@ class IndependentBuffer:
         it maps to another SDIMM the block is removed from the local stash
         and handed back for migration.
         """
-        if self.owner_of(old_global_leaf) != self.sdimm_id:  # reprolint: disable=SEC002 -- sanity assert; owner(leaf) is the public routing fact (threat_model.md: destination randomness)
+        if self.owner_of(old_global_leaf) != self.sdimm_id:
             raise ValueError(f"leaf {old_global_leaf} not owned by "
                              f"SDIMM {self.sdimm_id}")
         self.accesses += 1
@@ -137,7 +137,7 @@ class IndependentBuffer:
 
         new_global_leaf = oram.rng.random_leaf(self._global_leaf_count)
         moved: Optional[Block] = None
-        if self.owner_of(new_global_leaf) == self.sdimm_id:  # reprolint: disable=SEC002 -- on-buffer remap decision; migration is hidden by the APPEND broadcast
+        if self.owner_of(new_global_leaf) == self.sdimm_id:
             block.leaf = self._local(new_global_leaf)
         else:
             moved = oram.stash.remove(address)
@@ -163,7 +163,7 @@ class IndependentBuffer:
             return 0
         local_block = Block(block.address, block.leaf, block.data)
         drain_now = self.queue.push(local_block)
-        if not drain_now:  # reprolint: disable=SEC002 -- drain decision reads queue occupancy on the trusted buffer; bus sees a full dummy access
+        if not drain_now:
             return 0
         serviced = self.queue.service(via_drain=True)
         if serviced is not None:
@@ -306,7 +306,7 @@ class IndependentProtocol:
         self.accesses += 1
         old_leaf = self.posmap.lookup(address)
         owner = self.sdimms[0].owner_of(old_leaf)
-        if owner in self.quarantined:  # reprolint: disable=SEC002 -- a failed DIMM is physically observable; the degraded path emits the identical link shape
+        if owner in self.quarantined:  # reprolint: disable=SEC003 -- owner is leaf-derived but a failed DIMM is physically observable to any adversary; the degraded path emits the identical link shape, so this branch reveals nothing beyond the (public) failure itself
             return self._degraded_access(address, owner)
         traced = self.tracer.enabled
         lane = "independent"
@@ -340,7 +340,7 @@ class IndependentProtocol:
         start = self.clock.now
         new_owner = self.sdimms[0].owner_of(outcome.new_global_leaf)
         for index, sdimm in enumerate(self.sdimms):
-            payload = (outcome.moved_block  # reprolint: disable=SEC002 -- every SDIMM gets an APPEND; real-vs-dummy is under the link encryption
+            payload = (outcome.moved_block
                        if index == new_owner and outcome.moved_block
                        else None)
             self.link.up(SdimmCommand.APPEND, index, self.block_bytes)

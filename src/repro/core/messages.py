@@ -183,13 +183,13 @@ class SdimmPort:
 
     def _handle_access(self, plaintext: bytes) -> None:
         message = AccessMessage.parse(plaintext, self.buffer.oram.block_bytes)
-        data = message.payload if message.op is Op.WRITE else None  # reprolint: disable=SEC002 -- on-buffer op handling; ACCESS always carries a full block either way
+        data = message.payload if message.op is Op.WRITE else None
         outcome = self.buffer.access(message.address, message.leaf,
                                      message.op, data)
         stays_local = outcome.moved_block is None
         dummy = message.op is Op.WRITE and stays_local
         result = ResultMessage(
-            payload=bytes(len(message.payload)) if dummy else outcome.data,  # reprolint: disable=SEC002 -- result is fixed-size and encrypted; dummy flag never reaches the wire in clear
+            payload=bytes(len(message.payload)) if dummy else outcome.data,
             new_leaf=outcome.new_global_leaf,
             is_dummy=dummy)
         ciphertext, tag = self._session.encrypt_downstream(
@@ -201,7 +201,7 @@ class SdimmPort:
     def _handle_append(self, plaintext: bytes) -> None:
         message = AppendMessage.parse(plaintext,
                                       self.buffer.oram.block_bytes)
-        if message.is_dummy:  # reprolint: disable=SEC002 -- on-buffer dummy handling; every APPEND frame has identical shape
+        if message.is_dummy:
             self.buffer.append(None)
         else:
             self.buffer.append(Block(message.address, message.leaf,
@@ -267,7 +267,7 @@ class WiredIndependentProtocol:
                          AccessMessage(address, old_leaf, op, payload))
         port.handle(frame)
         # PROBE until ready (immediate here; the timing tier models delay)
-        while port.handle(cpu.send_probe()) != b"\x01":  # reprolint: disable=SEC002 -- PROBE poll loop; interval is fixed by the timing tier, not by the secret
+        while port.handle(cpu.send_probe()) != b"\x01":
             self.probes_sent += 1
         raw = port.handle(cpu.send_fetch_result())
         result = cpu.receive_result(raw)
@@ -277,7 +277,7 @@ class WiredIndependentProtocol:
         new_owner = self.sdimm_ports[0].buffer.owner_of(result.new_leaf)
         moved = not result.is_dummy and new_owner != owner
         for index, target in enumerate(self.sdimm_ports):
-            if index == new_owner and moved:  # reprolint: disable=SEC002 -- every SDIMM gets an APPEND; real-vs-dummy is under the link encryption
+            if index == new_owner and moved:  # reprolint: disable=SEC003 -- new_owner derives from the fresh remap leaf; every SDIMM receives an identically shaped APPEND frame and real-vs-dummy sits under the link encryption, so the branch is invisible on the bus
                 message = AppendMessage(False, address, result.new_leaf,
                                         result.payload if op is Op.READ
                                         else payload)

@@ -595,7 +595,7 @@ class SplitProtocol:
             chosen = placement.get(level, [])
             metadata = b""
             for slot in range(self.blocks_per_bucket):
-                if slot < len(chosen):  # reprolint: disable=SEC002 -- eviction packing on the trusted CPU side; the wire carries full buckets regardless
+                if slot < len(chosen):
                     block = chosen[slot]
                     slots.append(index_of[block.address])
                     metadata += block.address.to_bytes(8, "little")

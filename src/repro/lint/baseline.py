@@ -1,0 +1,82 @@
+"""Committed-baseline workflow: fail CI only on *new* findings.
+
+A baseline file is a JSON document listing accepted findings.  Entries
+are keyed by ``rule|path|message`` — deliberately *line-independent*,
+so unrelated edits that shift a known finding up or down the file do
+not resurrect it, while any change to the finding's substance (rule,
+file, or message text) makes it count as new.
+
+Workflow::
+
+    python -m repro lint src --write-baseline lint-baseline.json
+    git add lint-baseline.json
+    # later runs:
+    python -m repro lint src --baseline lint-baseline.json
+    # exit 1 only for findings not in the baseline
+
+The file format is versioned and human-reviewable; shrinking it over
+time is the point.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Set
+
+from repro.lint.findings import Finding, LintResult
+
+BASELINE_VERSION = 1
+
+
+def finding_key(finding: Finding) -> str:
+    return f"{finding.rule_id}|{finding.path}|{finding.message}"
+
+
+def render_baseline(result: LintResult) -> str:
+    """Serialize the run's findings as a fresh baseline document."""
+    entries: List[Dict[str, str]] = []
+    seen: Set[str] = set()
+    for finding in result.findings + result.baselined:
+        key = finding_key(finding)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append({"rule": finding.rule_id, "path": finding.path,
+                        "message": finding.message})
+    entries.sort(key=lambda entry: (entry["rule"], entry["path"],
+                                    entry["message"]))
+    return json.dumps({"baseline_version": BASELINE_VERSION,
+                       "tool": "reprolint",
+                       "findings": entries}, indent=2) + "\n"
+
+
+def load_baseline(text: str) -> Set[str]:
+    """Parse a baseline document back into a set of finding keys.
+
+    Raises:
+        ValueError: the text is not a baseline document.
+    """
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"not a reprolint baseline file: {error}") from error
+    if not isinstance(payload, dict) or "findings" not in payload:
+        raise ValueError("not a reprolint baseline file")
+    version = payload.get("baseline_version")
+    if version != BASELINE_VERSION:
+        raise ValueError(f"unsupported baseline_version {version!r}")
+    keys: Set[str] = set()
+    for entry in payload["findings"]:
+        keys.add(f"{entry['rule']}|{entry['path']}|{entry['message']}")
+    return keys
+
+
+def apply_baseline(result: LintResult, accepted: Set[str]) -> None:
+    """Split ``result.findings`` into new vs. baselined, in place."""
+    fresh: List[Finding] = []
+    for finding in result.findings:
+        if finding_key(finding) in accepted:
+            result.baselined.append(finding)
+        else:
+            fresh.append(finding)
+    result.findings[:] = fresh

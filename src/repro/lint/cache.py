@@ -1,0 +1,92 @@
+"""Incremental per-file result cache for the lint runner.
+
+The same contract as the simulator's :class:`~repro.parallel.cache
+.RunCache`: *a hit equals a re-run*.  The key folds together
+
+* the file's exact bytes (content hash — renames and touches miss
+  nothing, identical content anywhere hits),
+* the active rule-id set, and
+* a :func:`~repro.parallel.fingerprint.code_fingerprint` over the
+  ``repro.lint`` package itself, so editing any rule or the engine
+  cold-starts the cache instead of serving stale verdicts.
+
+Only the per-file phase is cached; project-wide analysis (SEC003/
+SEC004/DET003) depends on every file at once and is always recomputed.
+Entries are small JSON documents; corruption or version drift reads as
+a miss, never an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, Optional, Sequence
+
+from repro.parallel.fingerprint import code_fingerprint
+
+CACHE_VERSION = 1
+
+_lint_fingerprint: Optional[str] = None
+
+
+def lint_code_fingerprint() -> str:
+    """Digest of the ``repro.lint`` package sources (cached per process)."""
+    global _lint_fingerprint
+    if _lint_fingerprint is None:
+        _lint_fingerprint = code_fingerprint(
+            root=os.path.dirname(os.path.abspath(__file__)))
+    return _lint_fingerprint
+
+
+def entry_key(file_bytes: bytes, rule_ids: Sequence[str]) -> str:
+    digest = hashlib.sha256()
+    digest.update(lint_code_fingerprint().encode())
+    digest.update(b"\0")
+    digest.update("|".join(sorted(rule_ids)).encode())
+    digest.update(b"\0")
+    digest.update(file_bytes)
+    return digest.hexdigest()
+
+
+class LintCache:
+    """Directory of ``<key>.json`` per-file outcomes."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.directory, f"{key}.json")
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if not isinstance(payload, dict) or \
+                payload.get("cache_version") != CACHE_VERSION:
+            self.misses += 1
+            return None
+        self.hits += 1
+        outcome = payload.get("outcome")
+        return outcome if isinstance(outcome, dict) else None
+
+    def put(self, key: str, outcome: Dict[str, object]) -> None:
+        try:
+            os.makedirs(self.directory, exist_ok=True)
+            rendered = json.dumps({"cache_version": CACHE_VERSION,
+                                   "outcome": outcome},
+                                  sort_keys=True)
+            path = self._path(key)
+            temp = path + ".tmp"
+            with open(temp, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            os.replace(temp, path)
+        except OSError:
+            # A read-only or full cache directory degrades to a no-op
+            # cache; linting itself must never fail because of it.
+            pass

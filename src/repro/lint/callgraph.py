@@ -1,0 +1,348 @@
+"""Project-wide module loading and call-graph construction.
+
+The interprocedural rules (SEC003/SEC004/DET003) need to see the whole
+program at once: which functions exist, which calls resolve to which
+definitions, and what little type information the source volunteers.
+This module builds that view from already-parsed ASTs — no imports are
+executed, so fixture trees and the real tree are handled identically.
+
+Call resolution is deliberately tiered, most precise first:
+
+1. ``ClassName.method(...)`` / ``ClassName(...)`` — the class is named
+   directly;
+2. ``self.method(...)`` — resolved inside the enclosing class;
+3. ``self.attr.method(...)`` — resolved through the *attribute type
+   map*: ``self.attr = ClassName(...)`` in any method, an annotated
+   ``attr: ClassName`` class field, or an ``__init__`` parameter with
+   an annotation assigned to ``self.attr`` all record ``attr``'s class;
+4. bare ``name(...)`` — same-module function, then project-wide by
+   name;
+5. ``anything.method(...)`` — project-wide by method name, *capped*:
+   more than :data:`MAX_CANDIDATES` same-named definitions means the
+   name is too generic to say anything useful, and the call is treated
+   as unresolved (the dataflow layer then falls back to a conservative
+   argument-taint union).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+#: Above this many same-named candidates a by-name lookup is considered
+#: unresolved — generic names like ``access`` or ``get`` would otherwise
+#: smear taint (and sink summaries) across unrelated classes.
+MAX_CANDIDATES = 4
+
+#: Method names so ubiquitous (builtin containers, file-likes) that a
+#: project-wide by-name match is noise even under the candidate cap:
+#: ``config.get(...)`` must never resolve to some class's unrelated
+#: ``get``.  Calls through these names resolve only via a typed
+#: receiver (tiers 1-3); otherwise they stay unresolved.
+_UBIQUITOUS_METHODS = frozenset({
+    "get", "set", "put", "pop", "add", "append", "extend", "insert",
+    "remove", "discard", "clear", "copy", "update", "setdefault",
+    "keys", "values", "items", "sort", "reverse", "count", "index",
+    "split", "join", "strip", "format", "encode", "decode", "read",
+    "write", "close", "open", "send", "recv", "run", "reset", "next",
+})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file of the project."""
+
+    path: str                  # POSIX-normalized, as reported in findings
+    tree: ast.Module
+    source: str
+    lines: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition, with its home coordinates."""
+
+    qualname: str              # "path::Class.method" or "path::func"
+    name: str                  # bare name
+    class_name: Optional[str]
+    node: ast.AST              # FunctionDef | AsyncFunctionDef
+    module: ModuleInfo
+    params: List[str] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        return self.module.path
+
+    @property
+    def lineno(self) -> int:
+        return int(getattr(self.node, "lineno", 1))
+
+
+class Project:
+    """The whole-program view: modules, functions, classes, resolution.
+
+    Construction never raises on weird code — anything unresolvable is
+    simply absent, and callers treat absence as "unknown".
+    """
+
+    def __init__(self, modules: Sequence[ModuleInfo]):
+        self.modules: List[ModuleInfo] = list(modules)
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: bare function name -> definitions (module-level functions only)
+        self.by_function_name: Dict[str, List[FunctionInfo]] = {}
+        #: method name -> definitions across every class
+        self.by_method_name: Dict[str, List[FunctionInfo]] = {}
+        #: (class name, method name) -> definition
+        self.methods: Dict[Tuple[str, str], FunctionInfo] = {}
+        #: class name -> {attribute name -> class name of its value}
+        self.attr_types: Dict[str, Dict[str, str]] = {}
+        #: class names defined anywhere in the project
+        self.class_names: Set[str] = set()
+        #: path -> module-level names bound to mutable containers
+        self.module_mutable_globals: Dict[str, Set[str]] = {}
+        #: path -> every module-level binding
+        self.module_globals: Dict[str, Set[str]] = {}
+        for module in self.modules:
+            self._index_module(module)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        mutable: Set[str] = set()
+        bound: Set[str] = set()
+        for statement in module.tree.body:
+            if isinstance(statement, _FUNCTION_NODES):
+                self._add_function(module, statement, class_name=None)
+            elif isinstance(statement, ast.ClassDef):
+                self._index_class(module, statement)
+            elif isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                for name in _binding_names(statement):
+                    bound.add(name)
+                    value = getattr(statement, "value", None)
+                    if value is not None and _is_mutable_literal(value):
+                        mutable.add(name)
+        self.module_mutable_globals[module.path] = mutable
+        self.module_globals[module.path] = bound
+
+    def _index_class(self, module: ModuleInfo,
+                     class_node: ast.ClassDef) -> None:
+        self.class_names.add(class_node.name)
+        attr_types = self.attr_types.setdefault(class_node.name, {})
+        for statement in class_node.body:
+            if isinstance(statement, _FUNCTION_NODES):
+                self._add_function(module, statement,
+                                   class_name=class_node.name)
+                self._infer_attr_types(statement, attr_types)
+            elif (isinstance(statement, ast.AnnAssign)
+                  and isinstance(statement.target, ast.Name)):
+                annotated = _annotation_class(statement.annotation)
+                if annotated:
+                    attr_types[statement.target.id] = annotated
+
+    def _add_function(self, module: ModuleInfo, node: ast.AST,
+                      class_name: Optional[str]) -> None:
+        name = getattr(node, "name", "")
+        qualname = (f"{module.path}::{class_name}.{name}" if class_name
+                    else f"{module.path}::{name}")
+        if qualname in self.functions:   # redefinition: last one wins
+            previous = self.functions[qualname]
+            for table in (self.by_function_name, self.by_method_name):
+                entries = table.get(name)
+                if entries and previous in entries:
+                    entries.remove(previous)
+        arguments = getattr(node, "args", None)
+        params = []
+        if arguments is not None:
+            params = [a.arg for a in (arguments.posonlyargs + arguments.args
+                                      + arguments.kwonlyargs)]
+        info = FunctionInfo(qualname=qualname, name=name,
+                            class_name=class_name, node=node,
+                            module=module, params=params)
+        self.functions[qualname] = info
+        if class_name is None:
+            self.by_function_name.setdefault(name, []).append(info)
+        else:
+            self.by_method_name.setdefault(name, []).append(info)
+            self.methods[(class_name, name)] = info
+
+    def _infer_attr_types(self, method: ast.AST,
+                          attr_types: Dict[str, str]) -> None:
+        """Record ``self.attr``'s class from assignments inside a method."""
+        annotated_params: Dict[str, str] = {}
+        arguments = getattr(method, "args", None)
+        if arguments is not None:
+            for argument in arguments.posonlyargs + arguments.args:
+                if argument.annotation is not None:
+                    klass = _annotation_class(argument.annotation)
+                    if klass:
+                        annotated_params[argument.arg] = klass
+        for node in ast.walk(method):
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+                value: Optional[ast.AST] = node.value
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            for target in targets:
+                if not (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    continue
+                klass = None
+                if isinstance(node, ast.AnnAssign):
+                    klass = _annotation_class(node.annotation)
+                if (klass is None and isinstance(value, ast.Call)
+                        and isinstance(value.func, ast.Name)):
+                    if value.func.id in self.class_names or \
+                            value.func.id[:1].isupper():
+                        klass = value.func.id
+                if (klass is None and isinstance(value, ast.Name)
+                        and value.id in annotated_params):
+                    klass = annotated_params[value.id]
+                if klass:
+                    attr_types[target.attr] = klass
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def resolve_call(self, call: ast.Call,
+                     caller: FunctionInfo) -> List[FunctionInfo]:
+        """Candidate definitions a call may invoke ([] = unresolved)."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_bare_name(func.id, caller)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(func, caller)
+        return []
+
+    def _resolve_bare_name(self, name: str,
+                           caller: FunctionInfo) -> List[FunctionInfo]:
+        # Constructor call: ClassName(...) -> ClassName.__init__
+        if name in self.class_names:
+            init = self.methods.get((name, "__init__"))
+            return [init] if init else []
+        same_module = [info for info in self.by_function_name.get(name, [])
+                       if info.module is caller.module]
+        if same_module:
+            return same_module
+        candidates = self.by_function_name.get(name, [])
+        if 0 < len(candidates) <= MAX_CANDIDATES:
+            return list(candidates)
+        return []
+
+    def _resolve_attribute(self, func: ast.Attribute,
+                           caller: FunctionInfo) -> List[FunctionInfo]:
+        method = func.attr
+        base = func.value
+        # ClassName.method(...)
+        if isinstance(base, ast.Name) and base.id in self.class_names:
+            info = self.methods.get((base.id, method))
+            return [info] if info else []
+        # self.method(...) / cls.method(...)
+        if (isinstance(base, ast.Name) and base.id in ("self", "cls")
+                and caller.class_name is not None):
+            info = self.methods.get((caller.class_name, method))
+            if info:
+                return [info]
+        # self.attr.method(...) through the attribute type map
+        if (isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id in ("self", "cls")
+                and caller.class_name is not None):
+            klass = self.attr_types.get(caller.class_name, {}).get(base.attr)
+            if klass:
+                info = self.methods.get((klass, method))
+                return [info] if info else []
+        # anything.method(...): project-wide by method name, capped and
+        # denied for ubiquitous container/stdlib names
+        if method in _UBIQUITOUS_METHODS:
+            return []
+        candidates = self.by_method_name.get(method, [])
+        if 0 < len(candidates) <= MAX_CANDIDATES:
+            return list(candidates)
+        return []
+
+    # ------------------------------------------------------------------
+    # Reachability (used by DET003's worker analysis)
+    # ------------------------------------------------------------------
+
+    def reachable_from(self, root: FunctionInfo,
+                       max_functions: int = 200) -> List[FunctionInfo]:
+        """Functions transitively callable from ``root`` (bounded BFS)."""
+        seen: Set[str] = {root.qualname}
+        order: List[FunctionInfo] = [root]
+        frontier: List[FunctionInfo] = [root]
+        while frontier and len(order) < max_functions:
+            nxt: List[FunctionInfo] = []
+            for info in frontier:
+                for node in ast.walk(info.node):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    for callee in self.resolve_call(node, info):
+                        if callee.qualname not in seen:
+                            seen.add(callee.qualname)
+                            order.append(callee)
+                            nxt.append(callee)
+                            if len(order) >= max_functions:
+                                return order
+            frontier = nxt
+        return order
+
+
+def _binding_names(statement: ast.AST) -> List[str]:
+    names: List[str] = []
+    targets: List[ast.AST] = []
+    if isinstance(statement, ast.Assign):
+        targets = list(statement.targets)
+    elif isinstance(statement, ast.AnnAssign):
+        targets = [statement.target]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.append(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            names.extend(element.id for element in target.elts
+                         if isinstance(element, ast.Name))
+    return names
+
+
+def _is_mutable_literal(value: ast.AST) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Name)
+            and value.func.id in {"list", "dict", "set", "defaultdict",
+                                  "OrderedDict", "Counter", "deque"})
+
+
+def _annotation_class(annotation: Optional[ast.AST]) -> Optional[str]:
+    """The class a simple annotation names (``Foo``, ``"Foo"``), if any."""
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Constant) and \
+            isinstance(annotation.value, str):
+        tail = annotation.value.split(".")[-1].strip()
+        return tail if tail.isidentifier() else None
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr
+    return None
+
+
+def build_project(files: Sequence[Tuple[str, str, ast.Module]]) -> Project:
+    """Assemble a :class:`Project` from ``(path, source, tree)`` triples."""
+    return Project([ModuleInfo(path=path, tree=tree, source=source)
+                    for path, source, tree in files])

@@ -13,7 +13,8 @@ test fixture trees that mirror its layout.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Type
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Type)
 
 from repro.lint.findings import Finding, Severity
 
@@ -34,6 +35,20 @@ class Rule:
     Subclasses set the class attributes and implement :meth:`check`,
     yielding :class:`Finding` objects.  ``rule_id`` doubles as the
     suppression token (``# reprolint: disable=SEC001``).
+
+    Three optional attributes shape how the runner drives a rule:
+
+    * ``project`` — the rule needs the whole program at once; the
+      runner calls :meth:`ProjectRule.check_project` with a project
+      analysis instead of calling :meth:`check` per file.
+    * ``synthetic`` — findings are produced by the runner itself
+      (LINT000 parse failures, LINT001 stale suppressions); the rule
+      class exists so the id is registered, documented and selectable,
+      but :meth:`check` yields nothing.
+    * ``superseded_by`` — a newer rule subsumes this one.  On project
+      runs where the successor is active, the runner skips the old
+      rule so the same defect is not reported twice; single-file runs
+      (``lint_source``) and explicit ``--select`` still honor it.
     """
 
     rule_id: str = ""
@@ -42,6 +57,9 @@ class Rule:
     severity: Severity = Severity.ERROR
     path_markers: Sequence[str] = ()   # empty means "every file"
     exempt_markers: Sequence[str] = ()
+    project: bool = False
+    synthetic: bool = False
+    superseded_by: Optional[str] = None
 
     def applies_to(self, path: str) -> bool:
         if any(marker in path for marker in self.exempt_markers):
@@ -59,6 +77,28 @@ class Rule:
                        line=getattr(node, "lineno", 1),
                        column=getattr(node, "col_offset", 0) + 1,
                        message=message, severity=self.severity)
+
+
+class ProjectRule(Rule):
+    """A rule that analyzes the whole program instead of one file.
+
+    ``check`` never fires (the runner routes project rules through
+    :meth:`check_project`); path scoping still applies, but to each
+    *finding's* path rather than to whole files up front.
+    """
+
+    project = True
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, analysis: object) -> Iterator[Finding]:
+        """Yield findings for the whole program.
+
+        ``analysis`` is the :class:`repro.lint.runner.ProjectAnalysis`
+        the runner built: the call graph plus the taint engine results.
+        """
+        raise NotImplementedError
 
 
 _REGISTRY: Dict[str, Type[Rule]] = {}

@@ -1,0 +1,53 @@
+"""LINT000/LINT001 — findings about the lint run itself.
+
+Both are *synthetic*: the runner produces them (a rule cannot analyze a
+file that failed to parse, and only the runner knows which directives
+ended up suppressing nothing).  The classes exist so the ids are
+registered, documented in ``--list-rules``, selectable, and carry the
+severities the runner attaches.
+
+* **LINT000** — a file the runner could not analyze (unreadable bytes,
+  undecodable encoding, syntax error).  Reported as a structured
+  finding with the failing path and line instead of a traceback, so one
+  broken file degrades the run instead of aborting it.  LINT000
+  findings bypass suppression directives: silencing "this file cannot
+  be checked" would silence every rule at once.
+* **LINT001** — a ``# reprolint: disable=...`` directive that
+  suppressed nothing (emitted under ``--warn-unused-suppressions``).
+  Stale suppressions are latent holes: the code they excused is gone,
+  but the silence stays and will mask the next real finding on that
+  line.
+"""
+
+from __future__ import annotations
+
+from repro.lint.findings import Severity
+from repro.lint.registry import Rule, register
+
+
+@register
+class UnanalyzableFile(Rule):
+    rule_id = "LINT000"
+    title = "file could not be analyzed"
+    rationale = ("an unreadable or syntactically invalid file may hide "
+                 "arbitrarily many violations; the runner reports it as "
+                 "a structured finding and exits 2")
+    severity = Severity.ERROR
+    synthetic = True
+
+    def check(self, context):
+        return iter(())
+
+
+@register
+class UnusedSuppression(Rule):
+    rule_id = "LINT001"
+    title = "suppression directive suppresses nothing"
+    rationale = ("a stale disable= comment is a latent hole: the code "
+                 "it excused is gone but the silence remains; emitted "
+                 "under --warn-unused-suppressions")
+    severity = Severity.WARNING
+    synthetic = True
+
+    def check(self, context):
+        return iter(())

@@ -74,11 +74,15 @@ def _is_none_presence_test(condition: ast.AST) -> bool:
 @register
 class SecretDependentBranch(Rule):
     rule_id = "SEC002"
-    title = "secret-dependent branch or loop bound"
+    title = "secret-dependent branch or loop bound (per-function)"
     rationale = ("control flow conditioned on leaf IDs, plaintext or other "
                  "secret state modulates observable timing; restructure to "
                  "a fixed shape or justify a suppression")
     path_markers = ("core/", "stash", "obs/")
+    # SEC003 runs the same invariant whole-program; on project runs with
+    # SEC003 active the runner skips SEC002 so one defect is one finding.
+    # Single-file runs (lint_source) and explicit --select still use it.
+    superseded_by = "SEC003"
 
     def check(self, context: FileContext) -> Iterator[Finding]:
         annotated = self._annotated_lines(context)

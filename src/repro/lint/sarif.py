@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 rendering of a lint run.
+
+SARIF (Static Analysis Results Interchange Format) is what code-review
+UIs and CI annotation steps ingest.  The document produced here is the
+minimal conforming subset: one run, the full rule table in
+``tool.driver.rules``, one ``result`` per finding (including LINT000
+parse failures), and an ``invocation`` whose ``executionSuccessful``
+mirrors the process-level outcome.  Output is fully deterministic —
+fixed key order, sorted results — so ``--jobs N`` stays byte-identical
+to serial and the artifact diffs cleanly between CI runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.findings import Finding, LintResult
+from repro.lint.registry import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_entry(rule) -> Dict[str, object]:
+    return {
+        "id": rule.rule_id,
+        "name": rule.title,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "defaultConfiguration": {
+            "level": _LEVELS.get(rule.severity.value, "error"),
+        },
+    }
+
+
+def _result_entry(finding: Finding,
+                  baselined: bool = False) -> Dict[str, object]:
+    entry: Dict[str, object] = {
+        "ruleId": finding.rule_id,
+        "level": _LEVELS.get(finding.severity.value, "error"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path},
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": finding.column,
+                },
+            },
+        }],
+    }
+    if baselined:
+        # SARIF's own change-tracking vocabulary for "known, accepted".
+        entry["baselineState"] = "unchanged"
+    return entry
+
+
+def to_sarif(result: LintResult) -> Dict[str, object]:
+    """The SARIF document as a plain dict."""
+    results: List[Dict[str, object]] = []
+    for finding in result.findings:
+        results.append(_result_entry(finding))
+    for finding in result.baselined:
+        results.append(_result_entry(finding, baselined=True))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "reprolint",
+                    "informationUri":
+                        "https://example.invalid/repro/docs/lint.md",
+                    "rules": [_rule_entry(rule) for rule in all_rules()],
+                },
+            },
+            "invocations": [{
+                "executionSuccessful": result.exit_code() != 2,
+                "exitCode": result.exit_code(),
+            }],
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def render_sarif(result: LintResult) -> str:
+    return json.dumps(to_sarif(result), indent=2, sort_keys=False)

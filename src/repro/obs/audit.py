@@ -107,7 +107,7 @@ class AuditResult:
         if self.passed:
             return (f"{self.name}: PASS — {self.length_a} {self.observable} "
                     f"events identical across both address streams")
-        if self.secret_arg_violations:
+        if self.secret_arg_violations:  # reprolint: disable=SEC003 -- audit verdict metadata: this lists *detected* violations (strings for the report), not secret protocol state; the name trips the vocabulary
             return (f"{self.name}: FAIL — secret-tainted payloads: "
                     f"{'; '.join(self.secret_arg_violations[:3])}")
         if self.first_divergence is None:
@@ -252,7 +252,7 @@ class LeakyLink:
     def down(self, command, sdimm: int, payload_bytes: int) -> None:
         from repro.core.commands import SdimmCommand
 
-        if command is SdimmCommand.FETCH_RESULT:  # reprolint: disable=SEC002 -- deliberate fault injection: the audit must detect this leak
+        if command is SdimmCommand.FETCH_RESULT:
             payload_bytes += self.leak_bit
         self._inner.down(command, sdimm, payload_bytes)
 
@@ -277,7 +277,7 @@ def _drive_link_protocol(protocol, addresses: Sequence[int],
         protocol.link = LeakyLink()
     for address in addresses:
         if inject_leak:
-            protocol.link.leak_bit = protocol.posmap.lookup(address) & 1  # reprolint: disable=SEC002 -- deliberate fault injection: the audit must detect this leak
+            protocol.link.leak_bit = protocol.posmap.lookup(address) & 1
         protocol.read(address)
     return protocol.link.shapes()
 

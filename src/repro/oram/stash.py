@@ -84,8 +84,8 @@ class Stash:
             survivors: List[Block] = []
             for block in remaining:
                 fits = (len(chosen) < bucket_capacity and
-                        geometry.deepest_common_level(block.leaf, leaf) >= level)
-                if fits:  # reprolint: disable=SEC002 -- greedy eviction runs in trusted SRAM; write-back shape is the fixed full path
+                        geometry.deepest_common_level(block.leaf, leaf) >= level)  # reprolint: disable=SEC003 -- leaf comparison inside trusted SRAM; result never leaves the stash
+                if fits:  # reprolint: disable=SEC003 -- greedy eviction runs in trusted SRAM; write-back shape is the fixed full path regardless of which blocks fit
                     chosen.append(block)
                 else:
                     survivors.append(block)

@@ -167,14 +167,23 @@ def fold_metrics(target: MetricsRegistry, payload: Dict[str, object]) -> None:
 # The engine
 # ----------------------------------------------------------------------
 
-def _make_pool(jobs: int):
-    """A worker pool, or ``None`` when the platform cannot provide one."""
+def make_pool(jobs: int):
+    """A worker pool, or ``None`` when the platform cannot provide one.
+
+    Shared by every fan-out in the tree (sweeps, serve benchmarks, the
+    lint runner): one place encodes the "pool or identical serial
+    fallback" contract.
+    """
     try:
         import multiprocessing
 
         return multiprocessing.get_context().Pool(jobs)
     except (ImportError, OSError, ValueError):
         return None
+
+
+#: Backwards-compatible alias (earlier callers imported the private name).
+_make_pool = make_pool
 
 
 def run_sweep(points: Sequence[SweepPoint], jobs: int = 1,

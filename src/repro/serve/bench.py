@@ -228,9 +228,9 @@ def run_serve_sweep(specs: Sequence[ServeSpec], jobs: int = 1,
     payloads: List[Tuple[int, Dict[str, object]]] = []
     pool = None
     if jobs > 1 and len(pending) > 1:
-        from repro.parallel.sweep import _make_pool
+        from repro.parallel.sweep import make_pool
 
-        pool = _make_pool(jobs)
+        pool = make_pool(jobs)
     if pool is None:
         for task in pending:
             payloads.append(_serve_worker(task))

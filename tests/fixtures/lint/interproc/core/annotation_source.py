@@ -1,0 +1,16 @@
+"""SEC003 fixture: ``# reprolint: secret`` annotation as taint source.
+
+The annotated value has no vocabulary name; only the annotation makes
+it secret, and only interprocedural flow carries it into the branch.
+"""
+
+
+def threshold_of(weight):
+    while weight > 16:
+        weight //= 2
+    return weight
+
+
+def tune(raw):
+    weight = raw.value  # reprolint: secret
+    return threshold_of(weight)

@@ -1,0 +1,19 @@
+"""SEC003 fixture: decrypt() result stored on self, branched on later.
+
+The taint source is the ``decrypt*`` call convention, threaded through
+an instance attribute between methods.
+"""
+
+
+class BlockHandler:
+    def __init__(self, session):
+        self.session = session
+        self.payload = b""
+
+    def receive(self, frame):
+        self.payload = self.session.decrypt_block(frame)
+
+    def classify(self):
+        if self.payload[0]:
+            return "hot"
+        return "cold"

@@ -1,0 +1,13 @@
+"""SEC003 clean fixture: a secret threads through a helper that never
+branches on it, and the only branch is on public state."""
+
+
+def wrap(leaf, codec):
+    return codec.seal(leaf)
+
+
+def emit(leaf, codec, queue):
+    frame = wrap(leaf, codec)
+    if queue.full():
+        queue.drop_oldest()
+    queue.push(frame)

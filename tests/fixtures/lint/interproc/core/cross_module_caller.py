@@ -1,0 +1,8 @@
+"""SEC003 fixture (caller half): passes a secret across a module edge."""
+
+from cross_module_sink import pick_bucket
+
+
+def serve(request, buckets):
+    leaf = request.position
+    return pick_bucket(leaf, buckets)

@@ -1,0 +1,13 @@
+"""SEC003 fixture (callee half): branches on its ``leaf`` parameter.
+
+Imported by ``cross_module_caller.py``; the pair exercises taint
+propagation across module boundaries inside one project build.
+"""
+
+
+def pick_bucket(leaf, buckets):
+    total = 0
+    for bucket in buckets:
+        if bucket.low <= leaf:
+            total += 1
+    return total

@@ -1,0 +1,20 @@
+"""SEC003 clean fixture: every branch is on declassified data.
+
+``len()`` of a secret container, a fresh RNG draw, an encrypt result,
+and a structural count (``n_leaves``) are all public; none of these
+branches may be flagged.
+"""
+
+
+def admit(leaves, rng, session, n_leaves):
+    if len(leaves) > 4:
+        batch = leaves[:4]
+    else:
+        batch = leaves
+    draw = rng.random_leaf(n_leaves)
+    if draw == 0:
+        draw = 1
+    frame = session.encrypt_block(batch)
+    if frame:
+        return draw
+    return 0

@@ -1,0 +1,16 @@
+"""SEC003 fixture: secret argument lifted into a branching callee.
+
+Two findings: the in-place branch inside ``route_for`` and the lifted
+finding at the ``dispatch`` call site that passes the secret in.
+"""
+
+
+def route_for(leaf):
+    if leaf & 1:
+        return "odd"
+    return "even"
+
+
+def dispatch(leaf, table):
+    lane = route_for(leaf)
+    return table[lane]

@@ -1,0 +1,13 @@
+"""SEC003 fixture: secret conditional expression and secret loop bound."""
+
+
+def pad(block, leaf, cipher):
+    frame = cipher.seal(block) if leaf & 1 else cipher.seal_twice(block)
+    return frame
+
+
+def walk(leaf, store):
+    out = []
+    for level in range(leaf):
+        out.append(store.fetch(level))
+    return out

@@ -1,0 +1,15 @@
+"""SEC004 fixture: secret-dependent addressing in stash code.
+
+A subscript indexed by the leaf and a membership probe keyed on it —
+both observable access patterns on the hot path.
+"""
+
+
+def lookup(table, leaf):
+    return table[leaf]
+
+
+def probe(occupied, leaf):
+    if leaf in occupied:
+        return True
+    return False

@@ -1,0 +1,10 @@
+"""SEC004 clean fixture: the oblivious pattern — scan every slot,
+select with data movement, never index by the secret."""
+
+
+def oblivious_lookup(slots, leaf):
+    hit = None
+    for slot in slots:
+        match = slot.block_id == leaf
+        hit = slot if match else hit
+    return hit

@@ -1,0 +1,4 @@
+"""LINT000 fixture: deliberately unparseable."""
+
+def broken(:
+    return 1

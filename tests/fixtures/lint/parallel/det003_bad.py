@@ -1,0 +1,16 @@
+"""DET003 fixture: pool fan-out whose worker touches module globals and
+whose fold depends on arrival order."""
+
+_SCRATCH = {}
+
+
+def run_point(spec):
+    _SCRATCH[spec.key] = spec.value
+    return spec.value
+
+
+def sweep(pool, specs):
+    total = 0
+    for value in pool.imap_unordered(run_point, specs):
+        total += total + value
+    return total

@@ -1,0 +1,10 @@
+"""DET003 clean fixture: a pure worker and an order-insensitive merge."""
+
+
+def run_point(spec):
+    return (spec.index, spec.value)
+
+
+def sweep(pool, specs):
+    results = sorted(pool.imap_unordered(run_point, specs))
+    return [value for _, value in results]

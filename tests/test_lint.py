@@ -27,8 +27,10 @@ def rules_hit(result):
 
 
 class TestRegistry:
-    def test_all_four_families_registered(self):
-        assert all_rule_ids() == ["DET001", "DET002", "SEC001", "SEC002"]
+    def test_all_families_registered(self):
+        assert all_rule_ids() == ["DET001", "DET002", "DET003",
+                                  "LINT000", "LINT001",
+                                  "SEC001", "SEC002", "SEC003", "SEC004"]
 
     def test_unknown_rule_selection_raises(self):
         with pytest.raises(KeyError):
@@ -61,11 +63,18 @@ class TestSec001:
 
 
 class TestSec002:
+    # SEC002 is superseded by SEC003 on default runs; the per-function
+    # rule still answers an explicit ``--select SEC002``.
     def test_violations_detected(self):
-        result = lint_paths([fixture("core", "sec002_bad.py")])
+        result = lint_paths([fixture("core", "sec002_bad.py")],
+                            selected_rules=["SEC002"])
         sec002 = [finding for finding in result.findings
                   if finding.rule_id == "SEC002"]
         assert len(sec002) == 6
+
+    def test_superseded_on_default_runs(self):
+        result = lint_paths([fixture("core", "sec002_bad.py")])
+        assert "SEC002" not in rules_hit(result)
 
     def test_clean_fixture(self):
         result = lint_paths([fixture("core", "sec002_ok.py")])
@@ -148,10 +157,41 @@ class TestDet002:
 
 class TestSuppressions:
     def test_per_line_directive(self):
-        result = lint_paths([fixture("core", "sec002_suppressed.py")])
+        result = lint_paths([fixture("core", "sec002_suppressed.py")],
+                            selected_rules=["SEC002"])
         assert len(result.findings) == 1      # only the audible one
         assert result.findings[0].line == 11
         assert result.suppressed_count == 1
+
+    def test_sec002_token_does_not_silence_sec003(self):
+        # Retagging is deliberate: a legacy SEC002 directive does not
+        # carry over to the interprocedural finding on default runs.
+        result = lint_paths([fixture("core", "sec002_suppressed.py")])
+        assert "SEC003" in rules_hit(result)
+
+    def test_multi_rule_directive(self):
+        source = ("import time\n"
+                  "busy_cycles = time.time() / 2  "
+                  "# reprolint: disable=DET001,DET002 -- both\n")
+        result = lint_source(source, path="sim/bus.py")
+        assert result.findings == []
+        assert result.suppressed_count == 2
+
+    def test_multi_rule_directive_leaves_third_rule_audible(self):
+        source = ("import time\n"
+                  "busy_cycles = time.time() / 2  "
+                  "# reprolint: disable=DET001,SEC001\n")
+        result = lint_source(source, path="sim/bus.py")
+        assert rules_hit(result) == ["DET002"]
+        assert result.suppressed_count == 1
+
+    def test_directive_in_docstring_is_inert(self):
+        source = ('"""Docs show: # reprolint: disable-file=DET001."""\n'
+                  "import time\n"
+                  "NOW = time.time()\n")
+        result = lint_source(source)
+        assert rules_hit(result) == ["DET001"]
+        assert result.suppressed_count == 0
 
     def test_file_level_directive(self):
         result = lint_paths([fixture("det001_suppressed_file.py")])
@@ -170,6 +210,39 @@ class TestSuppressions:
                   "NOW = time.time()  # reprolint: disable=SEC001\n")
         result = lint_source(source)
         assert rules_hit(result) == ["DET001"]
+
+
+class TestPathScoping:
+    def test_exempt_marker_beats_scope_marker(self, tmp_path):
+        # Precedence: an exempt marker anywhere in the path wins even
+        # when a scoped marker also matches.
+        source = ("def f(leaf):\n"
+                  "    if leaf & 1:\n"
+                  "        return 1\n"
+                  "    return 0\n")
+        scoped = tmp_path / "core" / "handler.py"
+        scoped.parent.mkdir()
+        scoped.write_text(source)
+        exempt = tmp_path / "core" / "crypto" / "session.py"
+        exempt.parent.mkdir()
+        exempt.write_text(source)
+        result = lint_paths([str(tmp_path)])
+        assert {os.path.basename(finding.path)
+                for finding in result.findings} == {"handler.py"}
+
+    def test_exempt_origin_silences_lifted_findings(self):
+        # SEC003 applies the same precedence to the *callee* side: a
+        # sink inside crypto/ never lifts into scoped callers.
+        from repro.lint.rules.sec003 import InterproceduralSecretFlow
+        assert "crypto/" in InterproceduralSecretFlow.exempt_markers
+        assert "core/" in InterproceduralSecretFlow.path_markers
+
+    def test_rule_families_scope_independently(self):
+        # The same file can be in one family's scope and out of
+        # another's: stash code is SEC004 territory, sim/ is not.
+        source = "def f(table, leaf):\n    return table[leaf]\n"
+        assert lint_source(source, path="oram/stash.py",
+                           selected_rules=["SEC002"]).findings == []
 
 
 class TestJsonOutput:
