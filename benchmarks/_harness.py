@@ -78,13 +78,40 @@ def emit(text: str = "") -> None:
     print(text)
 
 
+def _ledger_append(config: SystemConfig, design: DesignPoint,
+                   workload: str, channels: int, result: RunResult,
+                   wall_ms: float, from_cache: bool) -> None:
+    """Append one bench record when ``REPRO_LEDGER`` names a file.
+
+    Resolution (and the ``REPRO_NO_LEDGER`` kill switch) live in
+    :func:`repro.obs.ledger.resolve_ledger`; without the env var this is
+    a no-op, so ordinary benchmark runs stay write-free.
+    """
+    from repro.obs.ledger import (config_digest_hex, make_record,
+                                  resolve_ledger, simulation_core)
+
+    ledger = resolve_ledger()
+    if ledger is None:
+        return
+    core = simulation_core(design.value, workload, result,
+                           config_digest_hex(config), channels=channels,
+                           trace_length=TRACE_LENGTH)
+    ledger.append(make_record("bench", core, wall_ms=wall_ms,
+                              from_cache=from_cache))
+
+
 def run_cached(design: DesignPoint, workload: str, channels: int = 1,
                oram_cache_enabled: bool = True) -> RunResult:
     """Run (or fetch) one simulation from the shared benchmark cache.
 
     Lookup order: in-process dict, then the persistent disk cache, then a
-    real simulation (whose result is written back to both layers).
+    real simulation (whose result is written back to both layers).  When
+    ``REPRO_LEDGER`` is set, every disk-cache miss *and* hit appends one
+    performance-ledger record (hits with ``from_cache: true``) — the
+    in-process layer stays silent, it is a per-pytest-session memo.
     """
+    from repro.obs.ledger import host_clock_s
+
     key = (design, workload, channels, oram_cache_enabled, TRACE_LENGTH)
     cached = _RUN_CACHE.get(key)
     if cached is not None:
@@ -93,16 +120,23 @@ def run_cached(design: DesignPoint, workload: str, channels: int = 1,
                            oram_cache_enabled=oram_cache_enabled)
     store = disk_cache()
     disk_key = None
+    started = host_clock_s()
     if store is not None:
         disk_key = store.key_for(config, workload, TRACE_LENGTH)
         entry = store.get(disk_key)
         if entry is not None:
             _RUN_CACHE[key] = entry.result
+            _ledger_append(config, design, workload, channels,
+                           entry.result,
+                           (host_clock_s() - started) * 1000.0, True)
             return entry.result
     result = run_simulation(config, workload, trace_length=TRACE_LENGTH)
+    wall_ms = (host_clock_s() - started) * 1000.0
     if store is not None and disk_key is not None:
         store.put(disk_key, result)
     _RUN_CACHE[key] = result
+    _ledger_append(config, design, workload, channels, result, wall_ms,
+                   False)
     return result
 
 

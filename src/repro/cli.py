@@ -20,6 +20,11 @@ Subcommands:
   coalescing, p50/p95/p99/p999 sojourn times, shed rates against the
   Section IV-C M/M/1/K prediction; exits non-zero if any report shows
   the queue-depth bound violated.
+* ``perf-report`` — summarize a performance-ledger trajectory file and
+  optionally render the static HTML dashboard (``docs/observability.md``).
+* ``perf-gate``  — re-measure the fixed gate suite and compare against
+  the committed trajectory; exits non-zero on any cycle drift or a
+  wall-clock regression beyond tolerance.
 * ``designs`` / ``workloads`` — list what is available.
 * ``lint``     — run reprolint, the repository's own static analyzer
   (obliviousness / constant-time / determinism invariants).
@@ -27,6 +32,11 @@ Subcommands:
 ``simulate --trace-out FILE`` additionally records every layer's events
 through a :class:`~repro.obs.tracer.CollectingTracer` and writes a
 Chrome trace-event JSON loadable in Perfetto (``docs/observability.md``).
+
+Every measuring verb accepts ``--ledger FILE`` (default:
+``$REPRO_LEDGER``; ``REPRO_NO_LEDGER=1`` silences both) and appends one
+append-only JSONL record per executed point — the performance-ledger
+trail ``perf-gate`` and ``perf-report`` consume.
 """
 
 from __future__ import annotations
@@ -70,27 +80,39 @@ def _print_result(result: RunResult, energy_pj: Optional[float]) -> None:
 
 
 def _run(design: DesignPoint, workload: str, channels: int,
-         trace_length: int, seed: int, tracer=None):
+         trace_length: int, seed: int, tracer=None,
+         window_cycles: int = 0):
     from repro.obs.tracer import NULL_TRACER
 
     config = table2_config(design, channels=channels, seed=seed)
     result = run_simulation(config, workload, trace_length=trace_length,
                             trace_seed=seed,
                             tracer=tracer if tracer is not None
-                            else NULL_TRACER)
+                            else NULL_TRACER,
+                            window_cycles=window_cycles)
     model = DramEnergyModel(config.power, config.timing,
                             config.organization,
                             config.cpu.cpu_cycles_per_mem_cycle)
-    return result, model.report(result).total_pj
+    return result, model.report(result).total_pj, config
+
+
+def _ledger(args):
+    """The run ledger this invocation appends to (or ``None``)."""
+    from repro.obs.ledger import resolve_ledger
+
+    return resolve_ledger(getattr(args, "ledger", None))
 
 
 def cmd_simulate(args) -> int:
     """Handle ``repro simulate``."""
+    from repro.obs.ledger import host_clock_s
+
     tracer = None
-    if args.trace_out:
+    if args.trace_out or args.hotspots:
         from repro.obs.tracer import CollectingTracer
 
         tracer = CollectingTracer()
+    started = host_clock_s()
     if args.trace_file:
         from repro.obs.tracer import NULL_TRACER
         from repro.sim.system import run_trace_file
@@ -105,22 +127,48 @@ def cmd_simulate(args) -> int:
                                 config.cpu.cpu_cycles_per_mem_cycle)
         energy = model.report(result).total_pj
     else:
-        result, energy = _run(args.design, args.workload, args.channels,
-                              args.trace_length, args.seed, tracer=tracer)
+        result, energy, config = _run(args.design, args.workload,
+                                      args.channels, args.trace_length,
+                                      args.seed, tracer=tracer,
+                                      window_cycles=args.window_cycles)
+    wall_ms = (host_clock_s() - started) * 1000.0
+    ledger = _ledger(args)
+    if ledger is not None and not args.trace_file:
+        # trace-file replays have no canonical point identity (the
+        # point is a local file), so they stay off the trajectory
+        from repro.obs.ledger import (config_digest_hex, make_record,
+                                      simulation_core)
+
+        core = simulation_core(args.design.value, args.workload, result,
+                               config_digest_hex(config),
+                               channels=args.channels,
+                               trace_length=args.trace_length,
+                               seed=args.seed)
+        ledger.append(make_record("simulate", core, wall_ms=wall_ms))
     if args.trace_out:
         from repro.obs.chrome import write_chrome_trace
 
         count = write_chrome_trace(args.trace_out, tracer.events)
         print(f"wrote {count} trace events to {args.trace_out}",
               file=sys.stderr)
+    if args.hotspots:
+        from repro.obs.profile import hotspots, render_hotspots
+
+        print(render_hotspots(hotspots(tracer.events,
+                                       top_n=args.hotspots)))
     if args.json:
         import json
 
         summary = result.to_dict()
         summary["memory_energy_pj"] = energy
+        if args.window_cycles:
+            summary["windows"] = result.windows
         print(json.dumps(summary, indent=2))
         return 0
     _print_result(result, energy)
+    if args.window_cycles:
+        print(f"windows             {len(result.windows)} x "
+              f"{args.window_cycles:,} cycles")
     return 0
 
 
@@ -184,6 +232,16 @@ def cmd_faults(args) -> int:
              for design in designs for seed in seeds]
     reports = run_campaign_sweep(specs, jobs=args.jobs,
                                  cache=_sweep_cache(args))
+    ledger = _ledger(args)
+    if ledger is not None:
+        from repro.obs.ledger import campaign_core, make_record
+        from repro.parallel.fingerprint import code_fingerprint
+
+        fingerprint = code_fingerprint()
+        for report in reports:
+            ledger.append(make_record(
+                "faults", campaign_core(report, fingerprint=fingerprint),
+                jobs=args.jobs))
     import json
 
     if args.report:
@@ -239,8 +297,20 @@ def cmd_serve_bench(args) -> int:
                        write_fraction=args.write_fraction,
                        profile=args.profile, seed=args.seed)
              for design in designs for rate in rates]
+    meta: List[dict] = []
     reports = run_serve_sweep(specs, jobs=args.jobs,
-                              cache=_sweep_cache(args))
+                              cache=_sweep_cache(args), meta=meta)
+    ledger = _ledger(args)
+    if ledger is not None:
+        from repro.obs.ledger import make_record, serve_core
+        from repro.parallel.fingerprint import code_fingerprint
+
+        fingerprint = code_fingerprint()
+        for report, info in zip(reports, meta):
+            ledger.append(make_record(
+                "serve", serve_core(report, fingerprint=fingerprint),
+                wall_ms=float(info["wall_ms"]), jobs=args.jobs,
+                from_cache=bool(info["from_cache"])))
     if args.report:
         with open(args.report, "w", encoding="utf-8") as handle:
             handle.write("[")
@@ -271,6 +341,30 @@ def _sweep_cache(args):
     return RunCache(args.cache_dir or default_cache_dir())
 
 
+def _append_sweep_records(ledger, kind: str, outcome) -> None:
+    """One ledger record per executed sweep point (submission order)."""
+    if ledger is None:
+        return
+    from repro.obs.ledger import (config_digest_hex, make_record,
+                                  simulation_core)
+    from repro.parallel.fingerprint import code_fingerprint
+
+    fingerprint = code_fingerprint()
+    for entry in outcome.results:
+        point = entry.point
+        core = simulation_core(point.design.value, point.workload,
+                               entry.result,
+                               config_digest_hex(point.system_config()),
+                               channels=point.channels,
+                               trace_length=point.trace_length,
+                               seed=point.seed,
+                               window_policy=point.window_policy,
+                               fingerprint=fingerprint)
+        ledger.append(make_record(kind, core, wall_ms=entry.wall_ms,
+                                  jobs=outcome.jobs,
+                                  from_cache=entry.from_cache))
+
+
 def cmd_compare(args) -> int:
     """Handle ``repro compare``."""
     from repro.parallel import SweepPoint, run_sweep
@@ -286,6 +380,7 @@ def cmd_compare(args) -> int:
                          trace_length=args.trace_length, seed=args.seed)
               for design in designs]
     outcome = run_sweep(points, jobs=args.jobs, cache=_sweep_cache(args))
+    _append_sweep_records(_ledger(args), "compare", outcome)
     print(f"{'design':12s} {'cycles':>12s} {'vs freec':>9s} "
           f"{'latency':>9s} {'energy uJ':>10s} {'wall ms':>8s}")
     baseline = None
@@ -321,6 +416,7 @@ def cmd_sweep(args) -> int:
                          trace_length=args.trace_length, seed=args.seed)
               for workload in profile_names()]
     outcome = run_sweep(points, jobs=args.jobs, cache=_sweep_cache(args))
+    _append_sweep_records(_ledger(args), "sweep", outcome)
     print(f"{'workload':12s} {'cycles':>12s} {'hit':>5s} {'ap/ms':>6s} "
           f"{'latency':>9s}")
     for entry in outcome.results:
@@ -422,6 +518,59 @@ def cmd_lint(args) -> int:
     return result.exit_code()
 
 
+#: Default committed trajectory file (relative to the invoking CWD —
+#: CI and the repo Makefile run from the repository root).
+DEFAULT_TRAJECTORY = "benchmarks/results/perf_trajectory.jsonl"
+
+
+def cmd_perf_report(args) -> int:
+    """Handle ``repro perf-report``: summarize a trajectory, render HTML."""
+    from repro.obs.ledger import Ledger
+    from repro.obs.regress import render_dashboard, trajectory_summary
+
+    ledger = Ledger(args.trajectory)
+    records = ledger.read()
+    if not records and ledger.skipped_lines == 0:
+        print(f"perf-report: no records in {args.trajectory}",
+              file=sys.stderr)
+    if ledger.skipped_lines:
+        print(f"perf-report: skipped {ledger.skipped_lines} corrupt "
+              f"line(s)", file=sys.stderr)
+    print(trajectory_summary(records))
+    if args.html:
+        html_text = render_dashboard(records)
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(html_text)
+        print(f"wrote dashboard to {args.html}", file=sys.stderr)
+    return 0
+
+
+def cmd_perf_gate(args) -> int:
+    """Handle ``repro perf-gate``: exit 0 only when the tree holds its
+    recorded performance trajectory.
+
+    The optional ``--html`` dashboard renders the *committed* trajectory
+    (not the fresh records), so its bytes are identical across
+    ``--jobs`` values and cached replays.
+    """
+    from repro.obs.ledger import Ledger
+    from repro.obs.regress import render_dashboard, run_gate
+
+    report, records, wall_s = run_gate(args.trajectory, jobs=args.jobs,
+                                       cache=_sweep_cache(args),
+                                       ledger=_ledger(args),
+                                       wall_tolerance=args.wall_tolerance)
+    print(report.render())
+    print(f"perf-gate: measured {len(records)} point(s) in {wall_s:.1f}s",
+          file=sys.stderr)
+    if args.html:
+        html_text = render_dashboard(Ledger(args.trajectory).read())
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(html_text)
+        print(f"wrote dashboard to {args.html}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def cmd_designs(_args) -> int:
     """Handle ``repro designs``."""
     for design in DesignPoint:
@@ -463,6 +612,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="always re-simulate; do not read or write "
                               "the run cache")
 
+    def ledger_opt(sub):
+        sub.add_argument("--ledger", default=None, metavar="FILE",
+                         help="append one performance-ledger record per "
+                              "executed point to this JSONL file "
+                              "(default: $REPRO_LEDGER; "
+                              "REPRO_NO_LEDGER=1 disables)")
+
     simulate = subparsers.add_parser(
         "simulate", help="run one design on one workload")
     simulate.add_argument("design", type=_design)
@@ -476,7 +632,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trace-out", default=None, metavar="FILE",
                           help="write a Chrome trace-event JSON "
                                "(load in Perfetto / chrome://tracing)")
+    simulate.add_argument("--hotspots", type=int, default=0, metavar="N",
+                          help="print the top-N exclusive-cycle hotspot "
+                               "table (implies trace collection)")
+    simulate.add_argument("--window-cycles", type=int, default=0,
+                          metavar="C",
+                          help="fold metrics into tumbling C-cycle "
+                               "windows (0 = off); --json includes the "
+                               "snapshots")
     common(simulate)
+    ledger_opt(simulate)
     simulate.set_defaults(handler=cmd_simulate)
 
     compare = subparsers.add_parser(
@@ -484,6 +649,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("workload")
     common(compare)
     concurrency(compare)
+    ledger_opt(compare)
     compare.set_defaults(handler=cmd_compare)
 
     sweep = subparsers.add_parser(
@@ -491,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("design", type=_design)
     common(sweep)
     concurrency(sweep)
+    ledger_opt(sweep)
     sweep.set_defaults(handler=cmd_sweep)
 
     overflow = subparsers.add_parser(
@@ -561,6 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--json", action="store_true",
                         help="emit machine-readable reports on stdout")
     concurrency(faults)
+    ledger_opt(faults)
     faults.set_defaults(handler=cmd_faults)
 
     serve = subparsers.add_parser(
@@ -602,7 +770,40 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--json", action="store_true",
                        help="emit machine-readable reports on stdout")
     concurrency(serve)
+    ledger_opt(serve)
     serve.set_defaults(handler=cmd_serve_bench)
+
+    perf_report = subparsers.add_parser(
+        "perf-report",
+        help="summarize a performance-ledger trajectory and render the "
+             "static HTML dashboard")
+    perf_report.add_argument("--trajectory", default=DEFAULT_TRAJECTORY,
+                             metavar="FILE",
+                             help="ledger JSONL to read (default: "
+                                  f"{DEFAULT_TRAJECTORY})")
+    perf_report.add_argument("--html", default=None, metavar="FILE",
+                             help="write the self-contained dashboard "
+                                  "(deterministic bytes)")
+    perf_report.set_defaults(handler=cmd_perf_report)
+
+    perf_gate = subparsers.add_parser(
+        "perf-gate",
+        help="re-measure the gate suite and fail on any drift from the "
+             "committed trajectory (cycles exact, wall-clock banded)")
+    perf_gate.add_argument("--trajectory", default=DEFAULT_TRAJECTORY,
+                           metavar="FILE",
+                           help="baseline ledger JSONL (default: "
+                                f"{DEFAULT_TRAJECTORY})")
+    perf_gate.add_argument("--wall-tolerance", type=float, default=2.5,
+                           metavar="X",
+                           help="fail when fresh wall-clock exceeds X "
+                                "times the recorded baseline on a "
+                                "matching host (default: 2.5)")
+    perf_gate.add_argument("--html", default=None, metavar="FILE",
+                           help="also render the trajectory dashboard")
+    concurrency(perf_gate)
+    ledger_opt(perf_gate)
+    perf_gate.set_defaults(handler=cmd_perf_gate)
 
     lint = subparsers.add_parser(
         "lint", help="run reprolint over source trees")

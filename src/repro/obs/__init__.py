@@ -1,9 +1,14 @@
-"""repro.obs — tracing, metrics, trace export, and the adversary audit.
+"""repro.obs — tracing, metrics, time series, the ledger, and the audit.
 
 Layered on the rest of the stack without touching its defaults: every
 instrumented component accepts a :class:`~repro.obs.tracer.Tracer` and
 defaults to :data:`~repro.obs.tracer.NULL_TRACER`, whose methods are
-no-ops (see ``docs/observability.md``).
+no-ops (see ``docs/observability.md``).  The performance-observability
+layer — :mod:`~repro.obs.ledger` (append-only run records),
+:mod:`~repro.obs.timeseries` (tumbling cycle windows),
+:mod:`~repro.obs.profile` (hotspot attribution), and
+:mod:`~repro.obs.regress` (the regression gate and dashboard) — rides on
+the same events.
 """
 
 from repro.obs.audit import (AuditResult, LeakyLink, adversary_observations,
@@ -16,9 +21,23 @@ from repro.obs.audit import (AuditResult, LeakyLink, adversary_observations,
                              scan_secret_args)
 from repro.obs.chrome import (chrome_trace_events, render_chrome_trace,
                               write_chrome_trace)
+from repro.obs.ledger import (LEDGER_SCHEMA, Ledger, canonical_core_line,
+                              host_clock_s, host_provenance, make_record,
+                              migrate_bench_pr3, point_key, resolve_ledger,
+                              simulation_core, verify_record)
 from repro.obs.metrics import (IDLE_PHASE, PHASE_PRIORITY, Counter, Gauge,
-                               Histogram, MetricsRegistry, phase_breakdown,
-                               summarize_phase_breakdown)
+                               Histogram, MetricsRegistry, fold_metrics_dict,
+                               phase_breakdown, summarize_phase_breakdown)
+from repro.obs.profile import (WallClockSampler, diff_hotspots,
+                               exclusive_cycles, hotspots, render_hotspot_diff,
+                               render_hotspots)
+# NOTE: repro.obs.regress is deliberately NOT imported here — it pulls in
+# the config/sweep stack, and core modules import repro.obs.tracer during
+# their own initialization (the package root must stay leaf-importable).
+# Use ``from repro.obs.regress import ...`` directly.
+from repro.obs.timeseries import (WINDOW_SCHEMA, WindowedTracer,
+                                  WindowSnapshot, fold_windows,
+                                  windows_from_events, windows_to_dicts)
 from repro.obs.tracer import (CATEGORY_BUS, CATEGORY_CPU, CATEGORY_DRAM,
                               CATEGORY_LINK, CATEGORY_PROTOCOL,
                               CATEGORY_STASH, NULL_TRACER, CollectingTracer,
@@ -31,8 +50,16 @@ __all__ = [
     "audit_split_protocol", "audit_timing_design", "compare_observables",
     "run_full_audit", "scan_secret_args",
     "chrome_trace_events", "render_chrome_trace", "write_chrome_trace",
+    "LEDGER_SCHEMA", "Ledger", "canonical_core_line", "host_clock_s",
+    "host_provenance", "make_record", "migrate_bench_pr3", "point_key",
+    "resolve_ledger", "simulation_core", "verify_record",
     "IDLE_PHASE", "PHASE_PRIORITY", "Counter", "Gauge", "Histogram",
-    "MetricsRegistry", "phase_breakdown", "summarize_phase_breakdown",
+    "MetricsRegistry", "fold_metrics_dict", "phase_breakdown",
+    "summarize_phase_breakdown",
+    "WallClockSampler", "diff_hotspots", "exclusive_cycles", "hotspots",
+    "render_hotspot_diff", "render_hotspots",
+    "WINDOW_SCHEMA", "WindowedTracer", "WindowSnapshot", "fold_windows",
+    "windows_from_events", "windows_to_dicts",
     "CATEGORY_BUS", "CATEGORY_CPU", "CATEGORY_DRAM", "CATEGORY_LINK",
     "CATEGORY_PROTOCOL", "CATEGORY_STASH", "NULL_TRACER",
     "CollectingTracer", "StepClock", "TraceEvent", "Tracer", "merge_events",

@@ -1,0 +1,401 @@
+"""The performance ledger: an append-only JSONL trail of measured runs.
+
+Every measurement entry point — ``simulate``, ``sweep``/``compare``,
+``serve-bench``, ``faults``, the benchmark harness — can append one
+record per executed point, so the repository accumulates a *trajectory*
+of its own performance instead of one hand-recorded datapoint per PR.
+
+Each record is two sections with deliberately different contracts:
+
+* ``core`` — the **replay-stable** measurement: the point identity
+  (design, workload, trace length, seed, ...), the configuration digest,
+  the :func:`~repro.parallel.fingerprint.code_fingerprint` of the source
+  that produced it, simulated-cycle metrics (``execution_cycles``,
+  ``phase_cycles``, bus lines), and the SLO quantile ladder.  Two runs
+  of the same code on the same point produce byte-identical cores — on
+  any machine, any ``--jobs`` value, cached or fresh.  ``core_digest``
+  (SHA-256 of the canonical core JSON) makes tampering and torn writes
+  detectable.
+* ``host`` — the **explicitly volatile** provenance: ``cpu_count``,
+  Python version, platform, host wall-clock milliseconds, the ``jobs``
+  value, and whether the run was served from cache.  This section is
+  excluded from the digest; it is *data about the measurement machine*,
+  and pretending it is reproducible would be dishonest.
+
+:meth:`Ledger.canonical_dump` renders the core stream alone — that is
+the byte-identity artifact CI compares across ``--jobs`` and cached
+replays, and the input the regression gate and dashboard consume.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import json
+import os
+import platform
+import sys
+import time
+from typing import Dict, List, Optional
+
+
+def _fingerprint(explicit: Optional[str]) -> str:
+    """Resolve a code fingerprint without importing :mod:`repro.parallel`
+    at module scope — ``repro.obs`` must stay leaf-importable (core
+    modules import :mod:`repro.obs.tracer` during their own init)."""
+    if explicit is not None:
+        return explicit
+    from repro.parallel.fingerprint import code_fingerprint
+
+    return code_fingerprint()
+
+#: Ledger record layout version.  Schema 1 is the ad-hoc BENCH_pr3.json
+#: shape; :func:`migrate_bench_pr3` lifts it into schema 2.
+LEDGER_SCHEMA = 2
+
+#: Environment variable naming the default ledger file for CLI verbs.
+LEDGER_ENV = "REPRO_LEDGER"
+
+#: Set to ``1`` to silence every implicit ledger append (CI determinism
+#: jobs that byte-compare working trees use this).
+LEDGER_DISABLE_ENV = "REPRO_NO_LEDGER"
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON rendering (sorted keys, fixed separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def host_clock_s() -> float:
+    """Host wall-clock seconds for throughput measurement (monotonic)."""
+    return time.perf_counter()  # reprolint: disable=DET001 -- the ledger's host section is the one sanctioned home for wall-clock: it never enters simulated state and is excluded from the record digest
+
+
+def host_provenance() -> Dict[str, object]:
+    """Who measured: the volatile, machine-identifying fields."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+    }
+
+
+def core_digest(core: Dict[str, object]) -> str:
+    return hashlib.sha256(canonical_json(core).encode()).hexdigest()
+
+
+def make_record(kind: str, core: Dict[str, object],
+                wall_ms: Optional[float] = None,
+                jobs: Optional[int] = None,
+                from_cache: Optional[bool] = None,
+                host: Optional[Dict[str, object]] = None
+                ) -> Dict[str, object]:
+    """Assemble one ledger record from a deterministic core."""
+    host_section = dict(host) if host is not None else host_provenance()
+    if wall_ms is not None:
+        host_section["wall_ms"] = round(float(wall_ms), 3)
+    if jobs is not None:
+        host_section["jobs"] = int(jobs)
+    if from_cache is not None:
+        host_section["from_cache"] = bool(from_cache)
+    return {
+        "schema": LEDGER_SCHEMA,
+        "kind": kind,
+        "core": core,
+        "core_digest": core_digest(core),
+        "host": host_section,
+    }
+
+
+def verify_record(record: Dict[str, object]) -> bool:
+    """True when the core section matches its recorded digest."""
+    try:
+        return (record.get("schema") == LEDGER_SCHEMA
+                and hmac.compare_digest(core_digest(record["core"]),
+                                        str(record["core_digest"])))
+    except (KeyError, TypeError):
+        return False
+
+
+def canonical_core_line(record: Dict[str, object]) -> str:
+    """The replay-stable rendering of one record (host section dropped)."""
+    return canonical_json({"schema": record["schema"],
+                           "kind": record["kind"],
+                           "core": record["core"],
+                           "core_digest": record["core_digest"]})
+
+
+def point_key(record: Dict[str, object]) -> Optional[str]:
+    """Trajectory identity of a record, or ``None`` for keyless kinds.
+
+    Records carrying a ``core.point`` mapping (gate points, simulate and
+    sweep entries) key on ``kind`` plus the canonical point JSON — the
+    regression gate compares the newest record per key against the
+    recorded trajectory's latest entry for the same key.
+    """
+    point = record.get("core", {}).get("point")
+    if not isinstance(point, dict):
+        return None
+    return f"{record.get('kind')}|{canonical_json(point)}"
+
+
+class Ledger:
+    """Append-only JSONL file of ledger records."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.skipped_lines = 0
+
+    def append(self, record: Dict[str, object]) -> Dict[str, object]:
+        """Write one record as a single canonical JSON line."""
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        line = canonical_json(record) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+        return record
+
+    def append_all(self, records: List[Dict[str, object]]) -> None:
+        for record in records:
+            self.append(record)
+
+    def read(self, verify: bool = True) -> List[Dict[str, object]]:
+        """Every parseable record, in file order.
+
+        Unparseable or digest-failing lines are skipped (counted in
+        :attr:`skipped_lines`), never a traceback — an interrupted append
+        must not poison the whole trajectory.
+        """
+        self.skipped_lines = 0
+        records: List[Dict[str, object]] = []
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except FileNotFoundError:
+            return []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                self.skipped_lines += 1
+                continue
+            if verify and not verify_record(record):
+                self.skipped_lines += 1
+                continue
+            records.append(record)
+        return records
+
+    def canonical_dump(self,
+                       records: Optional[List[Dict[str, object]]] = None
+                       ) -> str:
+        """The byte-identity artifact: one canonical core line per record.
+
+        Identical across ``--jobs`` values, cached replays, and machines
+        (the volatile host section is omitted); what CI compares and the
+        gate/dashboard consume.
+        """
+        if records is None:
+            records = self.read()
+        return "".join(canonical_core_line(record) + "\n"
+                       for record in records)
+
+
+def resolve_ledger(path: Optional[str] = None) -> Optional[Ledger]:
+    """The ledger a CLI verb should append to, or ``None`` for none.
+
+    Order: explicit ``--ledger`` path, then :data:`LEDGER_ENV`; either
+    way :data:`LEDGER_DISABLE_ENV` wins.
+    """
+    if os.environ.get(LEDGER_DISABLE_ENV) == "1":
+        return None
+    target = path or os.environ.get(LEDGER_ENV)
+    return Ledger(target) if target else None
+
+
+# ----------------------------------------------------------------------
+# Record builders for the tree's measurement producers
+# ----------------------------------------------------------------------
+
+def simulation_core(design: str, workload: str, result,
+                    config_digest_hex: str,
+                    channels: int = 1, trace_length: int = 4000,
+                    seed: int = 2018, window_policy: str = "in-order",
+                    fingerprint: Optional[str] = None
+                    ) -> Dict[str, object]:
+    """The deterministic core of one simulation run record."""
+    return {
+        "point": {
+            "design": design,
+            "workload": workload,
+            "channels": channels,
+            "trace_length": trace_length,
+            "seed": seed,
+            "window_policy": window_policy,
+        },
+        "config_digest": config_digest_hex,
+        "fingerprint": _fingerprint(fingerprint),
+        "measure": {
+            "execution_cycles": result.execution_cycles,
+            "miss_count": result.miss_count,
+            "accessoram_count": result.accessoram_count,
+            "main_bus_lines": result.main_bus_lines,
+            "probe_commands": result.probe_commands,
+            "drain_accesses": result.drain_accesses,
+            "phase_cycles": dict(sorted(result.phase_cycles.items())),
+            "slo": result.miss_latency.summary(),
+            "failures": len(result.failures),
+            "windows": len(result.windows),
+        },
+    }
+
+
+def config_digest_hex(config) -> str:
+    """SHA-256 of the canonical configuration payload."""
+    from repro.parallel.cache import config_digest_payload
+
+    def encode(value: object) -> object:
+        return getattr(value, "value", str(value))
+
+    rendered = json.dumps(config_digest_payload(config), sort_keys=True,
+                          separators=(",", ":"), default=encode)
+    return hashlib.sha256(rendered.encode()).hexdigest()
+
+
+def serve_core(report: Dict[str, object],
+               fingerprint: Optional[str] = None) -> Dict[str, object]:
+    """The deterministic core of one serving benchmark record."""
+    spec = dict(report.get("spec", {}))
+    return {
+        "point": {
+            "design": spec.get("design"),
+            "rate": spec.get("rate"),
+            "requests": spec.get("requests"),
+            "capacity": spec.get("capacity"),
+            "batch": spec.get("batch"),
+            "tenants": spec.get("tenants"),
+            "seed": spec.get("seed"),
+            "profile": spec.get("profile"),
+        },
+        "spec_digest": hashlib.sha256(
+            canonical_json(spec).encode()).hexdigest(),
+        "fingerprint": _fingerprint(fingerprint),
+        "measure": {
+            "totals": report.get("totals", {}),
+            "queue": report.get("queue", {}),
+            "utilization": report.get("service", {}).get("utilization"),
+            "shed_rate": report.get("model", {}).get("shed_rate"),
+            "slo": report.get("sojourn", {}).get("aggregate", {}),
+        },
+    }
+
+
+def campaign_core(report: Dict[str, object],
+                  fingerprint: Optional[str] = None) -> Dict[str, object]:
+    """The deterministic core of one fault-campaign record."""
+    spec = dict(report.get("spec", {}))
+    return {
+        "point": {
+            "design": spec.get("design"),
+            "accesses": spec.get("accesses"),
+            "seed": spec.get("seed"),
+        },
+        "spec_digest": hashlib.sha256(
+            canonical_json(spec).encode()).hexdigest(),
+        "fingerprint": _fingerprint(fingerprint),
+        "measure": {
+            "detection": report.get("detection", {}),
+            "resilience": report.get("resilience", {}),
+            "completed": report.get("completed"),
+            "all_detected": report.get("all_detected"),
+        },
+    }
+
+
+def sweep_scaling_core(points: int, serial_wall_s: float,
+                       parallel_wall_s: float, jobs: int,
+                       results_identical: bool,
+                       cpu_count: Optional[int] = None,
+                       fingerprint: Optional[str] = None
+                       ) -> Dict[str, object]:
+    """Serial-vs-parallel sweep scaling, honest about the machine.
+
+    ``cpu_count`` lives in the *core* here on purpose: the measured
+    speedup is meaningless without it (BENCH_pr3's 0.95x on a 1-core box
+    is a caveat, not a regression), so scaling records carry it as part
+    of the claim.  The wall-clock seconds stay core too — this record
+    *is* a wall-clock measurement; its point identity is the machine.
+    """
+    count = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    speedup = serial_wall_s / parallel_wall_s if parallel_wall_s else 0.0
+    return {
+        "fingerprint": _fingerprint(fingerprint),
+        "measure": {
+            "points": points,
+            "cpu_count": count,
+            "jobs": jobs,
+            "serial_wall_s": round(serial_wall_s, 6),
+            "parallel_wall_s": round(parallel_wall_s, 6),
+            "speedup": round(speedup, 6),
+            "results_identical": bool(results_identical),
+            "single_core_caveat": count <= 1,
+        },
+    }
+
+
+def migrate_bench_pr3(payload: Dict[str, object]) -> List[Dict[str, object]]:
+    """Lift a schema-1 ``BENCH_pr3.json`` record into ledger records.
+
+    The original file stays untouched; this converter exists so the
+    trajectory starts with two datapoints instead of one.  Produces one
+    gate-comparable point record (kind ``gate`` — the hot-path point is
+    a gate-suite point, so the trajectory shows its history) and one
+    sweep-scaling record, both stamped with the *original* fingerprint
+    and host facts.
+    """
+    if payload.get("schema") != 1:
+        raise ValueError(f"expected BENCH_pr3 schema 1, "
+                         f"got {payload.get('schema')!r}")
+    fingerprint = str(payload["code_fingerprint"])
+    host = {"cpu_count": int(payload.get("cpu_count", 1)),
+            "python": None, "platform": None,
+            "migrated_from": "BENCH_pr3.json"}
+    hotpath = payload["hotpath"]
+    sweep = payload["sweep"]
+    point_core = {
+        "point": {
+            "design": hotpath["design"],
+            "workload": hotpath["workload"],
+            "channels": 1,
+            "trace_length": int(payload["trace_length"]),
+            "seed": 2018,
+            "window_policy": "in-order",
+        },
+        "config_digest": None,   # schema 1 never recorded it
+        "fingerprint": fingerprint,
+        "measure": {
+            "execution_cycles": int(hotpath["cycles"]),
+            "reference_wall_s": hotpath["reference_wall_s"],
+            "optimized_wall_s": hotpath["optimized_wall_s"],
+            "speedup": hotpath["speedup"],
+            "cycles_identical": bool(hotpath["cycles_identical"]),
+        },
+    }
+    scaling_core = sweep_scaling_core(
+        points=int(sweep["points"]),
+        serial_wall_s=float(sweep["serial_wall_s"]),
+        parallel_wall_s=float(sweep["parallel_wall_s"]),
+        jobs=int(sweep["parallel_jobs"]),
+        results_identical=bool(sweep["results_identical"]),
+        cpu_count=int(payload.get("cpu_count", 1)),
+        fingerprint=fingerprint)
+    scaling_core["measure"]["designs"] = list(sweep["designs"])
+    scaling_core["measure"]["workloads"] = list(sweep["workloads"])
+    return [
+        make_record("gate", point_core,
+                    wall_ms=float(hotpath["optimized_wall_s"]) * 1000.0,
+                    host=host),
+        make_record("sweep-scaling", scaling_core, host=host),
+    ]

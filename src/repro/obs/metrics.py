@@ -162,6 +162,8 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly form; an empty histogram renders as the explicit
+        null summary (zero count/total, no buckets) — never a traceback."""
         return {"count": self.count, "total": self.total,
                 "buckets": {str(k): v
                             for k, v in sorted(self.buckets.items())}}
@@ -218,6 +220,34 @@ class MetricsRegistry:
                            for name, histogram
                            in sorted(self._histograms.items())},
         }
+
+
+def fold_metrics_dict(target: MetricsRegistry,
+                      payload: Dict[str, object]) -> MetricsRegistry:
+    """Fold one ``MetricsRegistry.as_dict()`` payload into ``target``.
+
+    The merge semantics every fan-out in the tree shares (sweep workers,
+    serving points, time-series windows): counters and histograms are
+    additive; gauges keep the min of minima, the max of maxima, and take
+    their last value from the *last payload folded* — so callers must
+    fold in a deterministic order (submission order for workers, window
+    order for time series).
+    """
+    for name, value in payload.get("counters", {}).items():
+        target.counter(name).inc(int(value))
+    for name, stats in payload.get("gauges", {}).items():
+        gauge = target.gauge(name)
+        gauge.set(int(stats["min"]))
+        gauge.set(int(stats["max"]))
+        gauge.set(int(stats["last"]))
+    for name, stats in payload.get("histograms", {}).items():
+        histogram = target.histogram(name)
+        for bucket, count in stats.get("buckets", {}).items():
+            histogram.buckets[int(bucket)] = (
+                histogram.buckets.get(int(bucket), 0) + int(count))
+        histogram.count += int(stats.get("count", 0))
+        histogram.total += int(stats.get("total", 0))
+    return target
 
 
 def summarize_phase_breakdown(breakdown: Dict[str, int],

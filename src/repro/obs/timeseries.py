@@ -1,0 +1,198 @@
+"""Cycle-windowed time series: tumbling snapshots of the metrics registry.
+
+The cumulative :class:`~repro.obs.metrics.MetricsRegistry` answers *what
+happened over the whole run*; the adaptive-control work the ROADMAP names
+needs *what is happening now*.  This module slices the same event stream
+into **tumbling windows keyed on simulated cycles**: window ``k`` covers
+``[k * window_cycles, (k + 1) * window_cycles)``, and every event is
+folded into exactly one window by its start cycle, with the same
+event-to-metric mapping :meth:`MetricsRegistry.from_events` uses.  Two
+consequences fall out by construction:
+
+* **exactness** — folding every window back together (in window order,
+  via :func:`~repro.obs.metrics.fold_metrics_dict`) reproduces the
+  cumulative registry's counters and histograms *exactly*, and the gauge
+  extrema exactly; nothing is sampled or approximated;
+* **determinism** — windows derive from the deterministic event stream
+  alone, so the snapshot list is byte-identical across ``--jobs`` values
+  and cached replays (``tests/test_obs_timeseries.py`` pins this).
+
+:class:`WindowedTracer` is the live seam: it wraps any inner tracer,
+folds windows incrementally, and invokes an ``on_flush`` callback once a
+window falls a configurable lag behind the stream's high-water mark.
+Spans are recorded when they *close*, so an event can still arrive for an
+already-flushed window (a long path access straddling a boundary);
+flushed snapshots are therefore *provisional* live views — late events
+are still folded and counted in :attr:`WindowedTracer.late_events`, and
+the :meth:`WindowedTracer.close` snapshot list is authoritative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, fold_metrics_dict
+from repro.obs.tracer import TraceEvent, Tracer
+
+#: Bump when the snapshot layout changes (ledger records embed it).
+WINDOW_SCHEMA = 1
+
+
+class WindowSnapshot:
+    """One tumbling window's delta registry."""
+
+    __slots__ = ("index", "window_cycles", "registry")
+
+    def __init__(self, index: int, window_cycles: int):
+        self.index = index
+        self.window_cycles = window_cycles
+        self.registry = MetricsRegistry()
+
+    @property
+    def start(self) -> int:
+        return self.index * self.window_cycles
+
+    @property
+    def end(self) -> int:
+        return (self.index + 1) * self.window_cycles
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"schema": WINDOW_SCHEMA, "index": self.index,
+                "start": self.start, "end": self.end,
+                "metrics": self.registry.as_dict()}
+
+
+def _fold_event(registry: MetricsRegistry, event: TraceEvent) -> None:
+    """One event into one registry — the from_events mapping, single-shot."""
+    qualified = f"{event.category}/{event.name}"
+    if event.kind == "span":
+        registry.histogram(qualified).record(event.duration)
+    elif event.kind == "counter":
+        registry.gauge(qualified).set(int(event.args.get("value", 0)))
+        registry.counter(qualified + "/samples").inc()
+    else:
+        registry.counter(qualified).inc()
+
+
+class WindowedTracer(Tracer):
+    """Tracer wrapper that folds events into tumbling cycle windows.
+
+    Forwards every event to ``inner`` unchanged (pass the run's
+    :class:`~repro.obs.tracer.CollectingTracer`, or the null tracer to
+    keep only windows), and maintains one :class:`WindowSnapshot` per
+    window touched.  ``on_flush(snapshot)`` fires — at most once per
+    window, in index order — when the high-water mark of observed start
+    cycles passes the window's end by ``lag_windows`` full windows; this
+    is the hook a runtime controller subscribes to.
+    """
+
+    enabled = True
+
+    def __init__(self, inner: Tracer, window_cycles: int,
+                 on_flush: Optional[Callable[[WindowSnapshot], None]] = None,
+                 lag_windows: int = 1):
+        if window_cycles <= 0:
+            raise ValueError("window_cycles must be positive")
+        if lag_windows < 0:
+            raise ValueError("lag_windows must be non-negative")
+        self.inner = inner
+        self.window_cycles = window_cycles
+        self.on_flush = on_flush
+        self.lag_windows = lag_windows
+        self.late_events = 0
+        self._windows: Dict[int, WindowSnapshot] = {}
+        self._high_water = 0
+        self._flushed_through = -1   # highest window index already flushed
+        self._closed = False
+
+    @property
+    def events(self):
+        """Delegate to the inner tracer's event list (phase attribution
+        and trace export read ``tracer.events`` duck-typed)."""
+        return getattr(self.inner, "events", ())
+
+    # -- Tracer interface ----------------------------------------------
+
+    def span(self, name: str, category: str, lane: str, start: int,
+             end: int, **args: object) -> None:
+        self.inner.span(name, category, lane, start, end, **args)
+        self._fold(TraceEvent("span", name, category, lane, start,
+                              end - start, args))
+
+    def instant(self, name: str, category: str, lane: str, ts: int,
+                **args: object) -> None:
+        self.inner.instant(name, category, lane, ts, **args)
+        self._fold(TraceEvent("instant", name, category, lane, ts, 0, args))
+
+    def counter(self, name: str, category: str, lane: str, ts: int,
+                value: int) -> None:
+        self.inner.counter(name, category, lane, ts, value)
+        self._fold(TraceEvent("counter", name, category, lane, ts, 0,
+                              {"value": value}))
+
+    # -- windowing -----------------------------------------------------
+
+    def _fold(self, event: TraceEvent) -> None:
+        if self._closed:
+            raise RuntimeError("windowed tracer already closed")
+        index = event.start // self.window_cycles
+        if index <= self._flushed_through:
+            self.late_events += 1
+        window = self._windows.get(index)
+        if window is None:
+            window = self._windows[index] = WindowSnapshot(
+                index, self.window_cycles)
+        _fold_event(window.registry, event)
+        if event.start > self._high_water:
+            self._high_water = event.start
+            self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if self.on_flush is None:
+            return
+        # window k is flushable once the stream has moved lag_windows
+        # whole windows past its end
+        ripe = (self._high_water // self.window_cycles
+                - self.lag_windows - 1)
+        while self._flushed_through < ripe:
+            self._flushed_through += 1
+            window = self._windows.get(self._flushed_through)
+            if window is not None:
+                self.on_flush(window)
+
+    def close(self) -> List[WindowSnapshot]:
+        """Finalize: every window touched, in index order (authoritative)."""
+        self._closed = True
+        return [self._windows[index] for index in sorted(self._windows)]
+
+
+def windows_from_events(events: Iterable[TraceEvent],
+                        window_cycles: int) -> List[WindowSnapshot]:
+    """Slice an already-collected event stream into tumbling windows."""
+    tracer = WindowedTracer(Tracer(), window_cycles)
+    for event in events:
+        tracer._fold(event)
+    return tracer.close()
+
+
+def windows_to_dicts(snapshots: Iterable[WindowSnapshot]
+                     ) -> List[Dict[str, object]]:
+    """The JSON-friendly snapshot list (what ``RunResult.windows`` holds)."""
+    return [snapshot.as_dict() for snapshot in snapshots]
+
+
+def fold_windows(snapshots: Iterable[Dict[str, object]]) -> MetricsRegistry:
+    """Fold snapshot dicts (in the given order) into one registry.
+
+    Feeding the window-ordered output of :func:`windows_to_dicts` back
+    through this reproduces the cumulative
+    ``MetricsRegistry().from_events(events)`` view: counters and
+    histograms exactly, gauge extrema exactly.  (A gauge's *last* value
+    is taken from the last window holding a sample, which equals the
+    event-order last whenever samples are emitted in cycle order — true
+    of every counter track the simulator emits today.)
+    """
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        fold_metrics_dict(registry, snapshot["metrics"])
+    return registry

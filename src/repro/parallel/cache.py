@@ -97,7 +97,7 @@ class RunCache:
     def key_for(self, config: SystemConfig, workload: str,
                 trace_length: int, warmup_records: Optional[int] = None,
                 trace_seed: int = 2018, window_policy: str = "in-order",
-                collect_trace: bool = False,
+                collect_trace: bool = False, window_cycles: int = 0,
                 fingerprint: Optional[str] = None) -> str:
         """Content hash identifying one simulation request."""
         request = {
@@ -108,6 +108,7 @@ class RunCache:
             "trace_seed": trace_seed,
             "window_policy": window_policy,
             "collect_trace": collect_trace,
+            "window_cycles": window_cycles,
             "fingerprint": fingerprint if fingerprint is not None
             else code_fingerprint(),
         }

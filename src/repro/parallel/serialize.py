@@ -20,7 +20,8 @@ from typing import Dict
 from repro.sim.stats import LatencyStats, RunResult
 
 #: Bump when the serialized shape changes; mismatched entries are misses.
-SCHEMA_VERSION = 1
+#: 2: RunResult grew ``windows`` (cycle-window time-series snapshots).
+SCHEMA_VERSION = 2
 
 
 def latency_to_dict(latency: LatencyStats) -> Dict[str, object]:
@@ -68,6 +69,7 @@ def run_result_to_dict(result: RunResult) -> Dict[str, object]:
         "phase_cycles": dict(result.phase_cycles),
         "extras": dict(result.extras),
         "failures": [dict(record) for record in result.failures],
+        "windows": [dict(snapshot) for snapshot in result.windows],
     }
 
 
@@ -99,6 +101,7 @@ def run_result_from_dict(payload: Dict[str, object]) -> RunResult:
         # tolerant default: entries written before the resilience layer
         # landed have no failures field (and were clean by construction)
         failures=[dict(record) for record in payload.get("failures", [])],
+        windows=[dict(snapshot) for snapshot in payload.get("windows", [])],
     )
 
 

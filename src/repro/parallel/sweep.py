@@ -54,6 +54,9 @@ class SweepPoint:
     oram_cache_enabled: bool = True
     window_policy: str = "in-order"
     collect_trace: bool = False
+    #: tumbling time-series window size in cycles (0 = no windows);
+    #: snapshots ride on ``RunResult.windows`` and round-trip the cache
+    window_cycles: int = 0
     config: Optional[SystemConfig] = None
 
     def system_config(self) -> SystemConfig:
@@ -87,6 +90,20 @@ class SweepOutcome:
     def run_results(self) -> List[RunResult]:
         return [entry.result for entry in self.results]
 
+    def fold_windows(self) -> MetricsRegistry:
+        """Fold every point's time-series windows into one registry.
+
+        Submission order, then window order — deterministic regardless
+        of ``jobs`` or cache hits, so the folded view is byte-identical
+        serial vs. pool (``tests/test_obs_timeseries.py`` pins it).
+        """
+        from repro.obs.timeseries import fold_windows
+
+        snapshots: List[Dict[str, object]] = []
+        for entry in self.results:
+            snapshots.extend(entry.result.windows)
+        return fold_windows(snapshots)
+
 
 # ----------------------------------------------------------------------
 # Worker side
@@ -112,12 +129,14 @@ def execute_point(point: SweepPoint) -> Dict[str, object]:
                                 trace_length=point.trace_length,
                                 trace_seed=point.seed,
                                 window_policy=point.window_policy,
-                                tracer=tracer)
+                                tracer=tracer,
+                                window_cycles=point.window_cycles)
     else:
         result = run_simulation(config, point.workload,
                                 trace_length=point.trace_length,
                                 trace_seed=point.seed,
-                                window_policy=point.window_policy)
+                                window_policy=point.window_policy,
+                                window_cycles=point.window_cycles)
     wall_ms = (time.perf_counter() - started) * 1000.0  # reprolint: disable=DET001 -- host wall-clock for throughput metrics, never enters simulated state
     chrome_json = None
     worker_metrics = MetricsRegistry()
@@ -146,21 +165,15 @@ def _pool_worker(task: Tuple[int, SweepPoint]) -> Tuple[int, Dict[str, object]]:
 # ----------------------------------------------------------------------
 
 def fold_metrics(target: MetricsRegistry, payload: Dict[str, object]) -> None:
-    """Fold one worker's ``MetricsRegistry.as_dict()`` into ``target``."""
-    for name, value in payload.get("counters", {}).items():
-        target.counter(name).inc(int(value))
-    for name, stats in payload.get("gauges", {}).items():
-        gauge = target.gauge(name)
-        gauge.set(int(stats["min"]))
-        gauge.set(int(stats["max"]))
-        gauge.set(int(stats["last"]))
-    for name, stats in payload.get("histograms", {}).items():
-        histogram = target.histogram(name)
-        for bucket, count in stats.get("buckets", {}).items():
-            histogram.buckets[int(bucket)] = (
-                histogram.buckets.get(int(bucket), 0) + int(count))
-        histogram.count += int(stats.get("count", 0))
-        histogram.total += int(stats.get("total", 0))
+    """Fold one worker's ``MetricsRegistry.as_dict()`` into ``target``.
+
+    The merge semantics live in
+    :func:`repro.obs.metrics.fold_metrics_dict` — shared with the
+    time-series window fold so workers and windows merge identically.
+    """
+    from repro.obs.metrics import fold_metrics_dict
+
+    fold_metrics_dict(target, payload)
 
 
 # ----------------------------------------------------------------------
@@ -211,6 +224,7 @@ def run_sweep(points: Sequence[SweepPoint], jobs: int = 1,
                             point.trace_length, trace_seed=point.seed,
                             window_policy=point.window_policy,
                             collect_trace=point.collect_trace,
+                            window_cycles=point.window_cycles,
                             fingerprint=fingerprint)
         keys[index] = key
         cached = cache.get(key)

@@ -191,25 +191,42 @@ def serve_cache_key(spec: ServeSpec,
 
 
 def _serve_worker(task: Tuple[int, Dict[str, object]]
-                  ) -> Tuple[int, Dict[str, object]]:
-    """Pool worker: re-derives everything from the picklable spec dict."""
+                  ) -> Tuple[int, Dict[str, object], float]:
+    """Pool worker: re-derives everything from the picklable spec dict.
+
+    The trailing wall-clock milliseconds are measurement *metadata* —
+    they ride next to the report (never inside it), so report bytes stay
+    identical across ``--jobs`` values and cached replays while the
+    performance ledger still gets an honest host wall-clock.
+    """
+    from repro.obs.ledger import host_clock_s
+
     index, payload = task
     spec = ServeSpec.from_dict(payload)
-    return index, run_serve(spec)
+    started = host_clock_s()
+    report = run_serve(spec)
+    return index, report, (host_clock_s() - started) * 1000.0
 
 
 def run_serve_sweep(specs: Sequence[ServeSpec], jobs: int = 1,
-                    cache: Optional[RunCache] = None
+                    cache: Optional[RunCache] = None,
+                    meta: Optional[List[Dict[str, object]]] = None
                     ) -> List[Dict[str, object]]:
     """Run several serving points; reports come back in submission order.
 
     Mirrors :func:`repro.parallel.sweep.run_sweep`: cache-first, pool
     with serial fallback, submission-index merge so the output is
     bit-identical regardless of completion order or ``jobs``.
+
+    ``meta``, when given, receives one ``{"wall_ms", "from_cache"}`` dict
+    per spec (submission order) — the volatile side-channel the ledger
+    records; the returned reports never contain it.
     """
     specs = list(specs)
     fingerprint = code_fingerprint() if cache is not None else None
     slots: List[Optional[Dict[str, object]]] = [None] * len(specs)
+    metas: List[Dict[str, object]] = [{"wall_ms": 0.0, "from_cache": True}
+                                      for _ in specs]
     pending: List[Tuple[int, Dict[str, object]]] = []
     keys: Dict[int, str] = {}
 
@@ -225,7 +242,7 @@ def run_serve_sweep(specs: Sequence[ServeSpec], jobs: int = 1,
         else:
             pending.append((index, spec.to_dict()))
 
-    payloads: List[Tuple[int, Dict[str, object]]] = []
+    payloads: List[Tuple[int, Dict[str, object], float]] = []
     pool = None
     if jobs > 1 and len(pending) > 1:
         from repro.parallel.sweep import make_pool
@@ -238,17 +255,20 @@ def run_serve_sweep(specs: Sequence[ServeSpec], jobs: int = 1,
         with pool:
             # completion order is nondeterministic; the sorted merge
             # below restores submission order
-            for index, payload in pool.imap_unordered(_serve_worker,
-                                                      pending):
-                payloads.append((index, payload))
+            for item in pool.imap_unordered(_serve_worker, pending):
+                payloads.append(item)
             pool.close()
             pool.join()
 
-    for index, payload in sorted(payloads, key=lambda item: item[0]):
+    for index, payload, wall_ms in sorted(payloads,
+                                          key=lambda item: item[0]):
         slots[index] = payload
+        metas[index] = {"wall_ms": wall_ms, "from_cache": False}
         if cache is not None:
             cache.put_json(keys[index], payload, fingerprint=fingerprint)
 
+    if meta is not None:
+        meta.extend(metas)
     reports = [entry for entry in slots if entry is not None]
     assert len(reports) == len(specs), "serve sweep lost a point"
     return reports

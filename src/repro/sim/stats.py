@@ -108,6 +108,11 @@ class RunResult:
     #: when the run completed degraded instead of raising; empty for a
     #: clean run.  Each record carries at least ``kind`` and ``detail``.
     failures: List[Dict[str, object]] = field(default_factory=list)
+    #: tumbling cycle-window snapshots (repro.obs.timeseries) when the
+    #: run asked for them via ``window_cycles``; empty otherwise.  Each
+    #: entry is one WindowSnapshot.as_dict() — folding them in order
+    #: reproduces the run's cumulative metrics registry exactly.
+    windows: List[Dict[str, object]] = field(default_factory=list)
 
     @property
     def completed_clean(self) -> bool:

@@ -37,7 +37,9 @@ def run_simulation(config: SystemConfig,
                    trace_seed: int = 2018,
                    window_policy: str = "in-order",
                    tracer: Tracer = NULL_TRACER,
-                   on_fault: str = "raise") -> RunResult:
+                   on_fault: str = "raise",
+                   window_cycles: int = 0,
+                   window_sink=None) -> RunResult:
     """Run one (design, workload) pair and return its measurements.
 
     ``workload`` is a profile name from :data:`repro.workloads.SPEC_PROFILES`
@@ -46,6 +48,13 @@ def run_simulation(config: SystemConfig,
     and DRAM state; measurements cover the remainder.  The paper uses
     1M + 1M accesses — scale ``trace_length`` up for higher fidelity runs
     (the default keeps a full benchmark sweep tractable in pure Python).
+
+    ``window_cycles > 0`` is the time-series seam: every tracer event is
+    additionally folded into tumbling cycle windows
+    (:mod:`repro.obs.timeseries`), the snapshots land on
+    ``RunResult.windows``, and ``window_sink(snapshot)`` — if given —
+    fires as each window falls behind the stream's high-water mark (the
+    hook a runtime controller subscribes to).
     """
     if isinstance(workload, WorkloadProfile):
         profile = workload
@@ -56,6 +65,13 @@ def run_simulation(config: SystemConfig,
     if warmup_records >= trace_length:
         raise ValueError("warm-up must leave a measurement window")
 
+    windowed = None
+    if window_cycles > 0:
+        from repro.obs.timeseries import WindowedTracer
+
+        windowed = WindowedTracer(tracer, window_cycles,
+                                  on_flush=window_sink)
+        tracer = windowed
     events = EventQueue()
     backend = build_backend(config, events, tracer=tracer)
     driver = SimulationDriver(config, backend, events, mlp=profile.mlp,
@@ -63,8 +79,13 @@ def run_simulation(config: SystemConfig,
                               window_policy=window_policy,
                               tracer=tracer)
     trace = iterate_trace(profile, trace_length, seed=trace_seed)
-    return driver.run(trace, warmup_records=warmup_records,
-                      on_fault=on_fault)
+    result = driver.run(trace, warmup_records=warmup_records,
+                        on_fault=on_fault)
+    if windowed is not None:
+        from repro.obs.timeseries import windows_to_dicts
+
+        result.windows = windows_to_dicts(windowed.close())
+    return result
 
 
 def run_trace_file(config: SystemConfig, path: str, mlp: int = 4,

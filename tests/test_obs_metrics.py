@@ -159,3 +159,34 @@ class TestReservoirSampling:
             stats.record(value)
         assert stats.samples == [0, 1, 2, 3]
         assert stats.count == 10
+
+
+class TestEmptyInputs:
+    """Pin the empty-input shapes the ledger and dashboard rely on: an
+    empty histogram renders a bare zero dict (no buckets invented), and
+    an empty latency summary is the explicit zero ladder — not None, not
+    a KeyError, and byte-stable under json round-trips."""
+
+    def test_empty_histogram_as_dict(self):
+        import json
+
+        as_dict = Histogram("empty").as_dict()
+        assert as_dict == {"count": 0, "total": 0, "buckets": {}}
+        assert json.loads(json.dumps(as_dict, sort_keys=True)) == as_dict
+
+    def test_empty_latency_summary_is_explicit_zero_ladder(self):
+        summary = LatencyStats().summary()
+        assert summary == {"count": 0, "mean": 0.0, "max": 0,
+                           "p50": 0, "p95": 0, "p99": 0, "p999": 0}
+        assert isinstance(summary["mean"], float)
+        assert LatencyStats().mean == 0.0
+        assert LatencyStats().percentile(0.99) == 0
+
+    def test_zero_count_nonempty_samples_impossible_shape_guard(self):
+        # counted-but-unsampled (cap 0) still yields the ladder keys
+        stats = LatencyStats(sample_cap=0)
+        stats.record(7)
+        summary = stats.summary()
+        assert summary["count"] == 1
+        assert set(summary) == {"count", "mean", "max",
+                                "p50", "p95", "p99", "p999"}

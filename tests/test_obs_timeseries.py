@@ -1,0 +1,172 @@
+"""Tumbling cycle windows: exactness, flush discipline, determinism."""
+
+import json
+
+import pytest
+
+from repro.config import DesignPoint, small_config
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import (WINDOW_SCHEMA, WindowedTracer,
+                                  WindowSnapshot, fold_windows,
+                                  windows_from_events, windows_to_dicts)
+from repro.obs.tracer import CollectingTracer, Tracer
+from repro.parallel.cache import RunCache
+from repro.parallel.sweep import SweepPoint, run_sweep
+from repro.sim.system import run_simulation
+
+
+def _collect_events(trace_length=400, design=DesignPoint.FREECURSIVE):
+    config = small_config(design)
+    tracer = CollectingTracer()
+    run_simulation(config, "mcf", trace_length=trace_length, tracer=tracer)
+    return tracer.events
+
+
+class TestSnapshot:
+    def test_window_bounds(self):
+        snapshot = WindowSnapshot(3, 500)
+        assert (snapshot.start, snapshot.end) == (1500, 2000)
+        as_dict = snapshot.as_dict()
+        assert as_dict["schema"] == WINDOW_SCHEMA
+        assert as_dict["metrics"] == MetricsRegistry().as_dict()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WindowedTracer(Tracer(), 0)
+        with pytest.raises(ValueError):
+            WindowedTracer(Tracer(), 100, lag_windows=-1)
+
+
+class TestExactness:
+    """Folding all windows back together == the cumulative registry."""
+
+    def test_fold_reproduces_cumulative_registry(self):
+        events = _collect_events()
+        cumulative = MetricsRegistry().from_events(events)
+        snapshots = windows_from_events(events, 1000)
+        folded = fold_windows(windows_to_dicts(snapshots))
+        cum = cumulative.as_dict()
+        out = folded.as_dict()
+        assert out["counters"] == cum["counters"]
+        assert out["histograms"] == cum["histograms"]
+        for name, gauge in cum["gauges"].items():
+            assert out["gauges"][name]["min"] == gauge["min"]
+            assert out["gauges"][name]["max"] == gauge["max"]
+            assert out["gauges"][name]["samples"] == gauge["samples"]
+
+    def test_every_event_lands_in_exactly_one_window(self):
+        events = _collect_events()
+        snapshots = windows_from_events(events, 777)  # awkward width
+        span_total = sum(
+            sum(h["count"] for h in s.registry.as_dict()
+                ["histograms"].values())
+            for s in snapshots)
+        assert span_total == sum(1 for e in events if e.kind == "span")
+        for snapshot, nxt in zip(snapshots, snapshots[1:]):
+            assert snapshot.index < nxt.index
+
+    def test_window_keyed_on_start_cycle(self):
+        tracer = WindowedTracer(Tracer(), 100)
+        # span straddles the boundary; its start cycle owns it
+        tracer.span("straddle", "bus", "lane", 95, 160)
+        tracer.instant("tick", "bus", "lane", 100)
+        snapshots = tracer.close()
+        assert [s.index for s in snapshots] == [0, 1]
+        assert snapshots[0].registry.as_dict()["histograms"][
+            "bus/straddle"]["count"] == 1
+        assert snapshots[1].registry.as_dict()["counters"][
+            "bus/tick"] == 1
+
+
+class TestFlushing:
+    def test_flush_fires_in_order_after_lag(self):
+        flushed = []
+        tracer = WindowedTracer(Tracer(), 100,
+                                on_flush=lambda s: flushed.append(s.index),
+                                lag_windows=1)
+        for start in (10, 120):
+            tracer.instant("tick", "bus", "lane", start)
+        assert flushed == []          # high-water 120: window 0 not ripe yet
+        tracer.instant("tick", "bus", "lane", 250)
+        assert flushed == [0]         # stream is a full lag window past it
+        tracer.instant("tick", "bus", "lane", 460)
+        assert flushed == [0, 1, 2]   # ripe windows flush in index order
+        snapshots = tracer.close()
+        assert [s.index for s in snapshots] == [0, 1, 2, 4]
+
+    def test_late_events_counted_and_still_folded(self):
+        tracer = WindowedTracer(Tracer(), 100, on_flush=lambda s: None,
+                                lag_windows=0)
+        tracer.instant("tick", "bus", "lane", 10)
+        tracer.instant("tick", "bus", "lane", 250)   # flushes window 0
+        tracer.span("late", "bus", "lane", 20, 240)  # lands in window 0
+        assert tracer.late_events == 1
+        snapshots = tracer.close()
+        assert snapshots[0].registry.as_dict()["histograms"][
+            "bus/late"]["count"] == 1
+
+    def test_closed_tracer_rejects_events(self):
+        tracer = WindowedTracer(Tracer(), 100)
+        tracer.close()
+        with pytest.raises(RuntimeError):
+            tracer.instant("tick", "bus", "lane", 0)
+
+    def test_forwards_to_inner(self):
+        inner = CollectingTracer()
+        tracer = WindowedTracer(inner, 100)
+        tracer.span("s", "bus", "lane", 0, 10)
+        tracer.counter("c", "bus", "lane", 5, 7)
+        assert len(inner.events) == 2
+        assert tracer.events is inner.events
+
+
+class TestDeterminism:
+    """RunResult.windows byte-identical serial vs pool vs cached replay."""
+
+    POINTS = [SweepPoint(DesignPoint.FREECURSIVE, "mcf", trace_length=300,
+                         window_cycles=1000),
+              SweepPoint(DesignPoint.INDEP_2, "gromacs", trace_length=300,
+                         window_cycles=1000)]
+
+    @staticmethod
+    def _window_bytes(outcome):
+        return json.dumps([entry.result.windows
+                           for entry in outcome.results], sort_keys=True)
+
+    def test_serial_vs_pool_byte_identical(self):
+        serial = run_sweep(self.POINTS, jobs=1, cache=None)
+        pooled = run_sweep(self.POINTS, jobs=2, cache=None)
+        assert self._window_bytes(serial) == self._window_bytes(pooled)
+        assert all(entry.result.windows for entry in serial.results)
+
+    def test_cached_replay_byte_identical(self, tmp_path):
+        cache = RunCache(str(tmp_path / "cache"))
+        first = run_sweep(self.POINTS, jobs=1, cache=cache)
+        replay = run_sweep(self.POINTS, jobs=1, cache=cache)
+        assert all(entry.from_cache for entry in replay.results)
+        assert self._window_bytes(first) == self._window_bytes(replay)
+
+    def test_cache_key_separates_window_widths(self, tmp_path):
+        cache = RunCache(str(tmp_path / "cache"))
+        narrow = SweepPoint(DesignPoint.FREECURSIVE, "mcf",
+                            trace_length=300, window_cycles=500)
+        run_sweep([self.POINTS[0]], jobs=1, cache=cache)
+        second = run_sweep([narrow], jobs=1, cache=cache)
+        assert not second.results[0].from_cache
+
+    def test_outcome_fold_windows_matches_direct_event_fold(self):
+        outcome = run_sweep(self.POINTS, jobs=1, cache=None)
+        folded = outcome.fold_windows().as_dict()
+        # the same points, traced directly, folded point-then-event order
+        from repro.obs.metrics import fold_metrics_dict
+        direct = MetricsRegistry()
+        for point in self.POINTS:
+            tracer = CollectingTracer()
+            run_simulation(point.system_config(), point.workload,
+                           trace_length=point.trace_length, tracer=tracer)
+            fold_metrics_dict(
+                direct, MetricsRegistry().from_events(tracer.events)
+                .as_dict())
+        expected = direct.as_dict()
+        assert folded["counters"] == expected["counters"]
+        assert folded["histograms"] == expected["histograms"]
