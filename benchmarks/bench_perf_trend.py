@@ -1,7 +1,7 @@
-"""Record the performance trajectory: ``BENCH_pr7.json`` + the committed
+"""Record the performance trajectory: ``BENCH_pr8.json`` + the committed
 ``perf_trajectory.jsonl`` the regression gate compares against.
 
-Three steps, all through the ledger schema (:mod:`repro.obs.ledger`):
+Four steps, all through the ledger schema (:mod:`repro.obs.ledger`):
 
 1. **Migrate** the schema-1 ``BENCH_pr3.json`` record (kept untouched)
    into ledger records, so the trajectory starts with history instead of
@@ -12,11 +12,15 @@ Three steps, all through the ledger schema (:mod:`repro.obs.ledger`):
    *in the core*: on a single-core box the recorded speedup is a caveat
    (``single_core_caveat: true``), not a regression, and pretending
    otherwise would poison every future comparison.
-3. **Write** the fresh records to ``BENCH_pr7.json`` and (with
+3. **Measure the fast-path A/B** — the differential fast-vs-reference
+   sweep from :mod:`bench_fastpath` (byte-identity is a hard gate,
+   speedup is recorded per point).
+4. **Write** the fresh records to ``BENCH_pr8.json`` and (with
    ``--trajectory``) regenerate the committed trajectory file:
    migrated history first, fresh gate + scaling records after, so the
    gate's latest-record-per-point rule baselines on today's code while
-   the dashboard still shows the PR3 -> PR7 history.
+   the dashboard still shows the PR3 -> PR8 history.
+   (``BENCH_pr7.json`` stays frozen as that PR's artifact.)
 
 Run directly::
 
@@ -51,7 +55,7 @@ from repro.parallel import (SweepPoint, code_fingerprint,  # noqa: E402
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                            "results")
 PR3_PATH = os.path.join(RESULTS_DIR, "BENCH_pr3.json")
-DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_pr7.json")
+DEFAULT_OUT = os.path.join(RESULTS_DIR, "BENCH_pr8.json")
 
 #: Scaling sweep: same shape as BENCH_pr3's (8 points) so the records
 #: are comparable machine-for-machine.
@@ -90,10 +94,15 @@ def measure_scaling(trace_length: int, jobs: int) -> Dict[str, object]:
 
 def run_benchmark(jobs: int, out_path: Optional[str],
                   trajectory_path: Optional[str],
-                  trace_length: int = 1200) -> Dict[str, object]:
+                  trace_length: int = 1200,
+                  fastpath_repeats: int = 3) -> Dict[str, object]:
     """Measure, record, and (optionally) regenerate the trajectory."""
+    from bench_fastpath import measure_fastpath
+
     fresh = gate_records(jobs=1)
     scaling = measure_scaling(trace_length, jobs)
+    fastpath = measure_fastpath(trace_length=trace_length,
+                                repeats=fastpath_repeats)
     history = migrated_records()
 
     # the fresh suite must agree with itself before it becomes anyone's
@@ -102,9 +111,10 @@ def run_benchmark(jobs: int, out_path: Optional[str],
     against_history = compare_records(history, fresh)
 
     payload = {
-        "benchmark": "pr7-perf-trend",
+        "benchmark": "pr8-perf-trend",
         "schema": 2,                     # ledger record schema
         "records": fresh + [scaling],
+        "fastpath": fastpath,
         "gate_self_consistent": self_check.ok,
         "vs_pr3": {
             "ok": against_history.ok,
@@ -150,7 +160,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         measure = record["core"]["measure"]
         point = record["core"]["point"]
         print(f"  {point['design']:12s} {measure['execution_cycles']:>12,} "
-              f"cycles  {measure['windows']} windows")
+              f"cycles  {measure['windows']} windows  "
+              f"hit={measure['fastpath_hit_rate']:.3f}")
+    fastpath = payload["fastpath"]
+    print(f"fastpath A/B         "
+          f"{'identical' if fastpath['cycles_identical'] else 'DIVERGED'}  "
+          f"geomean {fastpath['geomean_speedup']:.2f}x "
+          f"(min {fastpath['min_speedup']:.2f}x) vs reference core")
     print(f"cpu_count            {scaling['cpu_count']}"
           + ("  (single-core caveat: speedup is not expected)"
              if scaling["single_core_caveat"] else ""))
@@ -170,6 +186,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 1
     if not payload["gate_self_consistent"]:
         print("FAIL: gate suite not self-consistent", file=sys.stderr)
+        return 1
+    if not fastpath["cycles_identical"]:
+        print("FAIL: fast core diverged from the reference core",
+              file=sys.stderr)
         return 1
     return 0
 

@@ -25,6 +25,9 @@ Subcommands:
 * ``perf-gate``  — re-measure the fixed gate suite and compare against
   the committed trajectory; exits non-zero on any cycle drift or a
   wall-clock regression beyond tolerance.
+* ``cache``   — ``stats`` inventories the on-disk run cache (entries,
+  staleness vs the current code fingerprint, disk bytes); ``prune``
+  deletes entries recorded under other fingerprints.
 * ``designs`` / ``workloads`` — list what is available.
 * ``lint``     — run reprolint, the repository's own static analyzer
   (obliviousness / constant-time / determinism invariants).
@@ -571,6 +574,35 @@ def cmd_perf_gate(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_cache(args) -> int:
+    """Handle ``repro cache``: inspect or prune the on-disk run cache.
+
+    ``stats`` prints the inventory (entries, how many are stale under
+    the current code fingerprint, disk bytes); ``prune`` deletes the
+    stale entries and reports how many went.
+    """
+    from repro.parallel import RunCache, default_cache_dir
+
+    directory = args.cache_dir or default_cache_dir()
+    cache = RunCache(directory)
+    if args.cache_command == "stats":
+        stats = cache.disk_stats()
+        print(f"cache directory: {directory}")
+        print(f"entries:         {stats['entries']}")
+        print(f"stale:           {stats['stale']} "
+              "(different code fingerprint; prune reclaims these)")
+        print(f"unreadable:      {stats['unreadable']}")
+        print(f"disk bytes:      {stats['bytes']}")
+        return 0
+    removed = cache.prune_stale()
+    remaining = cache.entry_count()
+    print(f"cache prune: removed {removed} stale entr"
+          f"{'y' if removed == 1 else 'ies'} from {directory}; "
+          f"{remaining} current entr"
+          f"{'y' if remaining == 1 else 'ies'} kept")
+    return 0
+
+
 def cmd_designs(_args) -> int:
     """Handle ``repro designs``."""
     for design in DesignPoint:
@@ -830,6 +862,19 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report directives that no longer suppress "
                            "anything (LINT001)")
     lint.set_defaults(handler=cmd_lint)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or prune the on-disk run cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry counts, staleness, and disk usage")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="delete entries from other code fingerprints")
+    for sub in (cache_stats, cache_prune):
+        sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: $REPRO_CACHE_DIR "
+                              "or ./.repro-cache)")
+        sub.set_defaults(handler=cmd_cache)
 
     subparsers.add_parser("designs", help="list design points") \
         .set_defaults(handler=cmd_designs)

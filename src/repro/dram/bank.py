@@ -15,6 +15,9 @@ from repro.dram.commands import RowBufferOutcome
 class Bank:
     """One DRAM bank: open-row state plus per-command ready times."""
 
+    __slots__ = ("_t", "open_row", "ready_activate", "ready_cas",
+                 "ready_precharge")
+
     def __init__(self, timing_scaled: "ScaledTiming"):
         self._t = timing_scaled
         self.open_row: Optional[int] = None
@@ -79,6 +82,8 @@ class ScaledTiming:
     _FIELDS = ("trcd", "trp", "tcl", "tcwl", "tras", "trc", "tburst", "tccd",
                "tccd_l", "trtp", "twr", "twtr", "trtrs", "tfaw", "trrd",
                "trefi", "trfc", "txp", "txpdll")
+
+    __slots__ = ("scale",) + _FIELDS
 
     def __init__(self, timing, scale: int):
         if scale < 1:

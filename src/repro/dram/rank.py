@@ -22,6 +22,11 @@ _PARKED = (PowerState.POWER_DOWN, PowerState.SELF_REFRESH)
 class Rank:
     """One rank: a set of banks plus rank-global constraints and state."""
 
+    __slots__ = ("_t", "banks", "_act_history", "_last_act_time",
+                 "refresh_enabled", "_next_refresh_due", "power_state",
+                 "_state_since", "state_residency", "refresh_count",
+                 "power_down_exits")
+
     def __init__(self, timing: ScaledTiming, banks_per_rank: int,
                  refresh_enabled: bool = False):
         self._t = timing

@@ -248,6 +248,11 @@ def simulation_core(design: str, workload: str, result,
             "slo": result.miss_latency.summary(),
             "failures": len(result.failures),
             "windows": len(result.windows),
+            # inside the digest-protected core on purpose: a silent loss
+            # of fast-path coverage shows up as a gate finding even when
+            # the cycle counts still agree
+            "fastpath_hit_rate": result.extras.get("fastpath_hit_rate",
+                                                   0.0),
         },
     }
 

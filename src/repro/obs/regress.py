@@ -13,9 +13,10 @@ comparison is noise-aware by *construction*, not by statistics:
   for an intentional change is to re-record the trajectory, which is
   what keeps it honest.
 * **host wall-clock compares against a tolerance band**, and only when
-  the baseline was measured on a host with the same ``cpu_count``;
-  otherwise the wall comparison is *skipped with a visible finding*
-  rather than silently passed or dishonestly failed.
+  the baseline was measured on a host with the same ``cpu_count`` and
+  neither side carries ``single_core_caveat: true``; otherwise the wall
+  comparison is *skipped with a visible finding* rather than silently
+  passed or dishonestly failed.
 
 Only the **latest** trajectory record per :func:`~repro.obs.ledger
 .point_key` is the baseline — older records remain in the file as
@@ -63,6 +64,11 @@ WALL_TOLERANCE = 2.5
 
 #: Measure keys holding host wall-clock (tolerance-banded, never exact).
 _WALL_MARKERS = ("wall", "speedup")
+
+#: Measure keys that describe the *host* a record was taken on, not the
+#: simulation.  They must never fail an exact comparison: two honest
+#: records from different machines legitimately disagree on them.
+_HOST_FACT_KEYS = frozenset({"single_core_caveat", "cpu_count"})
 
 
 def gate_points() -> List[SweepPoint]:
@@ -169,6 +175,8 @@ def _compare_measures(baseline: Dict[str, object],
     must match exactly; wall-valued shared keys get the tolerance band.
     """
     for key in sorted(set(baseline) & set(current)):
+        if key in _HOST_FACT_KEYS:
+            continue
         base_value, cur_value = baseline[key], current[key]
         path = f"{prefix}.{key}"
         if isinstance(base_value, dict) and isinstance(cur_value, dict):
@@ -221,15 +229,30 @@ def compare_records(trajectory: Sequence[Dict[str, object]],
         report.compared_points += 1
         base_host = baseline.get("host", {}) or {}
         cur_host = record.get("host", {}) or {}
-        wall_comparable = (base_host.get("cpu_count") is not None
-                           and base_host.get("cpu_count")
-                           == cur_host.get("cpu_count"))
-        if not wall_comparable:
+        base_caveat = bool((baseline["core"].get("measure") or {})
+                           .get("single_core_caveat"))
+        cur_caveat = bool((record["core"].get("measure") or {})
+                          .get("single_core_caveat"))
+        if base_caveat or cur_caveat:
+            # a single-core host cannot produce a meaningful wall or
+            # speedup figure on either side of the comparison — skip the
+            # whole wall band with a visible note instead of comparing
+            # one honest number against one meaningless one
+            wall_comparable = False
             report.findings.append(Finding(
                 "wall-skipped", "info", label,
-                metric="host.cpu_count",
-                baseline=base_host.get("cpu_count"),
-                current=cur_host.get("cpu_count")))
+                metric="measure.single_core_caveat",
+                baseline=base_caveat, current=cur_caveat))
+        else:
+            wall_comparable = (base_host.get("cpu_count") is not None
+                               and base_host.get("cpu_count")
+                               == cur_host.get("cpu_count"))
+            if not wall_comparable:
+                report.findings.append(Finding(
+                    "wall-skipped", "info", label,
+                    metric="host.cpu_count",
+                    baseline=base_host.get("cpu_count"),
+                    current=cur_host.get("cpu_count")))
         _compare_measures(baseline["core"].get("measure", {}),
                           record["core"].get("measure", {}),
                           label, report.findings,

@@ -298,3 +298,35 @@ class RunCache:
         return sum(name.endswith(".json")
                    for _, _, files in os.walk(self.directory)
                    for name in files)
+
+    def disk_stats(self, fingerprint: Optional[str] = None
+                   ) -> Dict[str, int]:
+        """On-disk inventory: total/stale/unreadable entries and bytes.
+
+        ``stale`` counts entries :meth:`prune_stale` would delete — ones
+        written under a different code fingerprint plus unreadable files
+        (the latter also reported separately as ``unreadable``).
+        """
+        current = fingerprint if fingerprint is not None \
+            else code_fingerprint()
+        entries = stale = unreadable = total_bytes = 0
+        if not os.path.isdir(self.directory):
+            return {"entries": 0, "stale": 0, "unreadable": 0, "bytes": 0}
+        for directory, _, files in sorted(os.walk(self.directory)):
+            for name in sorted(files):
+                if not name.endswith(".json"):
+                    continue
+                path = os.path.join(directory, name)
+                entries += 1
+                try:
+                    total_bytes += os.path.getsize(path)
+                    with open(path, "r") as handle:
+                        entry = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    stale += 1
+                    unreadable += 1
+                    continue
+                if entry.get("fingerprint") != current:
+                    stale += 1
+        return {"entries": entries, "stale": stale,
+                "unreadable": unreadable, "bytes": total_bytes}

@@ -24,13 +24,16 @@ randomness locally instead of tracking block positions.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import DesignPoint, SystemConfig
 from repro.core.lowpower import RankPowerManager
 from repro.dram.address import AddressMapper
 from repro.dram.channel import Channel, MemoryRequest
 from repro.dram.scheduler import FrFcfsScheduler
+from repro.fastpath import (AccessFastPath, FASTPATH_ENABLED,
+                            FastLowPowerRuns, FastTreeRuns, emit_batch,
+                            pass_eligible, stamp_pass)
 from repro.obs.tracer import (CATEGORY_PROTOCOL, NULL_TRACER, Tracer)
 from repro.oram.layout import LowPowerLayout, TreeLayout
 from repro.oram.plb import PlbFrontend
@@ -161,6 +164,13 @@ class FreecursiveBackend:
         self.work = WorkQueue(events, "oram-backend")
         self.buses: List[LinkBus] = []
         self.counters = BackendCounters()
+        self.fastpath: Optional[AccessFastPath] = None
+        if FASTPATH_ENABLED:
+            self.fastpath = AccessFastPath(
+                self.channels,
+                FastTreeRuns(self.layout,
+                             self.channels[0]._banks_per_group),
+                self.skip_levels, self.crypto, "oram-backend", tracer)
 
     def submit(self, line_address: int, now: int, is_write: bool,
                on_complete: CompletionCallback = None) -> None:
@@ -180,6 +190,11 @@ class FreecursiveBackend:
 
     def _access_oram(self, start: int) -> int:
         leaf = self.rng.random_leaf(self.geometry.leaf_count)
+        fast = self.fastpath
+        if fast is not None:
+            end = fast.try_access(leaf, start)
+            if end is not None:
+                return end
         runs = self.layout.path_runs(leaf, self.skip_levels)
         read_end = start
         for channel_index, address, count in runs:
@@ -198,6 +213,13 @@ class FreecursiveBackend:
             self.tracer.span("PATH_WRITE", CATEGORY_PROTOCOL,
                              "oram-backend", write_start, write_end)
         return write_end + self.crypto
+
+    def fastpath_stats(self) -> Tuple[int, int]:
+        """(attempted accesses, macro-replayed accesses) for the ledger."""
+        fast = self.fastpath
+        if fast is None:
+            return (0, 0)
+        return (fast.attempts, fast.fast_accesses)
 
     def finalize(self, end_cycle: int) -> None:
         for channel in self.channels:
@@ -243,6 +265,15 @@ class SdimmDevice:
         self.path_accesses = 0
         # morphed-mode mapper, built once so its decode memo survives
         self._plain_mapper = AddressMapper(self.channel.organization, 64)
+        self.fastpath: Optional[AccessFastPath] = None
+        if FASTPATH_ENABLED:
+            banks_per_group = self.channel._banks_per_group
+            producer = (FastLowPowerRuns(self.layout, banks_per_group)
+                        if self.low_power
+                        else FastTreeRuns(self.layout, banks_per_group))
+            self.fastpath = AccessFastPath([self.channel], producer,
+                                           self.skip_levels, self.crypto,
+                                           name, tracer)
 
     # ------------------------------------------------------------------
 
@@ -293,6 +324,11 @@ class SdimmDevice:
         self.path_accesses += 1
         leaf = self.random_leaf()
         start = self.prepare_rank(leaf, start)
+        fast = self.fastpath
+        if fast is not None:
+            end = fast.try_access(leaf, start)
+            if end is not None:
+                return end
         runs = self._path_runs(leaf)
         if not runs:
             return start + 2 * self.crypto
@@ -470,6 +506,14 @@ class IndependentBackend:
         for device in self.devices:
             device.finalize(end_cycle)
 
+    def fastpath_stats(self) -> Tuple[int, int]:
+        attempts = fast = 0
+        for device in self.devices:
+            if device.fastpath is not None:
+                attempts += device.fastpath.attempts
+                fast += device.fastpath.fast_accesses
+        return attempts, fast
+
 
 # ----------------------------------------------------------------------
 # Split protocol backend
@@ -501,6 +545,31 @@ class SplitGroupDevice:
         # plus the (always present) updated block.
         self._list_lines = ceil_div(self._path_buckets * 10, 64) + 1
         self._last_data_ready = 0
+        self.fastpath_attempts = 0
+        self.fastpath_accesses = 0
+        leader = members[0]
+        self._fast_producer = (leader.fastpath.producer
+                               if leader.fastpath is not None else None)
+
+    def _stamp_member_pass(self, member: SdimmDevice, share, is_write: bool,
+                           earliest: int, rank_indices) -> Optional[int]:
+        """Stamp one member's pass share flat, or ``None`` to fall back.
+
+        An empty share is trivially "stamped" (the event core would
+        schedule nothing and return ``earliest``); otherwise the pass
+        must be eligible on the member's channel.  Per-member event
+        batches commit immediately, so the emission order matches the
+        slow core's member-by-member loop exactly.
+        """
+        if not share:
+            return earliest
+        if not pass_eligible(member.channel, rank_indices, earliest):
+            return None
+        batch = [] if self.tracer.enabled else None
+        end = stamp_pass(member.channel, share, is_write, earliest, batch)
+        if batch:
+            emit_batch(self.tracer, batch)
+        return end
 
     def perform_split_access(self, start: int) -> int:
         """One split accessORAM; returns the *backend busy-until* time.
@@ -510,15 +579,32 @@ class SplitGroupDevice:
         """
         leader = self.members[0]
         leaf = leader.random_leaf()
-        runs = leader._path_runs(leaf)
+        producer = self._fast_producer
+        shares = rank_indices = None
+        if producer is not None:
+            self.fastpath_attempts += 1
+            pattern = producer.pattern(leaf, leader.skip_levels)
+            if pattern.runs:
+                shares = pattern.slices(self.ways)
+                rank_indices = tuple(rank for _, rank in pattern.sig_ranks)
+        all_fast = shares is not None
+        runs = None
         # Step 1: FETCH_DATA — every member pulls its slice of the path.
         read_ends = []
         for way, member in enumerate(self.members):
             member.path_accesses += 1
             member_start = member.prepare_rank(leaf, start)
-            share = SdimmDevice.slice_runs(runs, way, self.ways)
-            read_ends.append(member.schedule_runs(share, False,
-                                                  member_start))
+            end = None
+            if shares is not None:
+                end = self._stamp_member_pass(member, shares[way], False,
+                                              member_start, rank_indices)
+            if end is None:
+                all_fast = False
+                if runs is None:
+                    runs = leader._path_runs(leaf)
+                share = SdimmDevice.slice_runs(runs, way, self.ways)
+                end = member.schedule_runs(share, False, member_start)
+            read_ends.append(end)
         # Step 2: metadata slices cross the main bus (1 line per bucket in
         # total, split across the members' buses).
         meta_end = start
@@ -542,9 +628,20 @@ class SplitGroupDevice:
         self._last_data_ready = data_ready
         write_ends = []
         for way, member in enumerate(self.members):
-            share = SdimmDevice.slice_runs(runs, way, self.ways)
-            write_ends.append(member.schedule_runs(share, True, list_end))
+            end = None
+            if shares is not None:
+                end = self._stamp_member_pass(member, shares[way], True,
+                                              list_end, rank_indices)
+            if end is None:
+                all_fast = False
+                if runs is None:
+                    runs = leader._path_runs(leaf)
+                share = SdimmDevice.slice_runs(runs, way, self.ways)
+                end = member.schedule_runs(share, True, list_end)
+            write_ends.append(end)
         write_end = max(write_ends)
+        if all_fast:
+            self.fastpath_accesses += 1
         if self.tracer.enabled:
             lane = self.name
             self.tracer.span("FETCH_DATA", CATEGORY_PROTOCOL, lane,
@@ -621,6 +718,15 @@ class SplitBackend:
     def finalize(self, end_cycle: int) -> None:
         for device in self.devices:
             device.finalize(end_cycle)
+
+    def fastpath_stats(self) -> Tuple[int, int]:
+        attempts = self.group.fastpath_attempts
+        fast = self.group.fastpath_accesses
+        for device in self.devices:
+            if device.fastpath is not None:
+                attempts += device.fastpath.attempts
+                fast += device.fastpath.fast_accesses
+        return attempts, fast
 
 
 # ----------------------------------------------------------------------
@@ -724,6 +830,17 @@ class IndepSplitBackend:
     def finalize(self, end_cycle: int) -> None:
         for device in self.devices:
             device.finalize(end_cycle)
+
+    def fastpath_stats(self) -> Tuple[int, int]:
+        attempts = fast = 0
+        for group in self.groups:
+            attempts += group.fastpath_attempts
+            fast += group.fastpath_accesses
+        for device in self.devices:
+            if device.fastpath is not None:
+                attempts += device.fastpath.attempts
+                fast += device.fastpath.fast_accesses
+        return attempts, fast
 
 
 BACKEND_CLASSES = {

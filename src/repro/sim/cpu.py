@@ -15,7 +15,7 @@ backend's PLB and row buffers) before the measured window begins.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, Optional
 
 from repro.cache.cache import SetAssociativeCache
 from repro.config import SystemConfig
@@ -235,7 +235,25 @@ class SimulationDriver:
             drain_accesses=self.backend.counters.drain_accesses,
             rank_residencies=self._residencies(),
             phase_cycles=phases,
+            extras=self._extras(),
         )
+
+    def _extras(self) -> Dict[str, float]:
+        """Auxiliary deterministic measures (digest-protected like the rest).
+
+        ``fastpath_hit_rate`` is the fraction of ORAM path accesses the
+        macro-replay core stamped without falling back to the event core.
+        Eligibility is a pure function of simulated state, so the rate is
+        identical across hosts, job counts, and cache replays — only a
+        disabled fast path (reference core, ``REPRO_DISABLE_FASTPATH``)
+        reports 0.0.
+        """
+        stats_fn = getattr(self.backend, "fastpath_stats", None)
+        if stats_fn is None:
+            return {}
+        attempts, fast = stats_fn()
+        rate = fast / attempts if attempts else 0.0
+        return {"fastpath_hit_rate": rate}
 
     def _residencies(self):
         residencies = []

@@ -28,6 +28,14 @@ MEMO_ENABLED: bool = os.environ.get("REPRO_DISABLE_MEMO", "") != "1"
 #: ``True`` selects the reference (pre-optimization) hot-path cores.
 REFERENCE_CORE: bool = os.environ.get("REPRO_REFERENCE_CORE", "") == "1"
 
+#: ``REPRO_DISABLE_FASTPATH=1`` turns off the macro-event replay core
+#: (:mod:`repro.fastpath`) without selecting the reference twins — the
+#: escape hatch for isolating a suspected fastpath bug from the PR3-era
+#: micro-optimizations.  The reference core always disables it: the
+#: reference twin must remain the unbatched one-event-at-a-time spec.
+FASTPATH_ENABLED: bool = (os.environ.get("REPRO_DISABLE_FASTPATH", "") != "1"
+                          and not REFERENCE_CORE)
+
 #: Default bound for per-instance memo dictionaries.  Caches clear and
 #: restart when full — simpler and faster than LRU bookkeeping, and a
 #: full wipe keeps worst-case memory at one bounded dict per instance.

@@ -68,6 +68,11 @@ class TestRecords:
         assert measure["slo"]["count"] == result.miss_latency.count
         assert core["point"]["design"] == "indep-2"
         assert len(core["config_digest"]) == 64
+        # the hit rate sits inside the digest-protected measure, so a
+        # silent loss of fast-path coverage becomes a gate finding
+        assert measure["fastpath_hit_rate"] == \
+            result.extras.get("fastpath_hit_rate", 0.0)
+        assert 0.0 <= measure["fastpath_hit_rate"] <= 1.0
         # the core is replay-stable: same run, same bytes
         again = simulation_core("indep-2", "mcf", result,
                                 config_digest_hex(config),

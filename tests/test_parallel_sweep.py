@@ -66,6 +66,7 @@ class TestDeterminism:
 class TestSerialFallback:
     def test_pool_failure_degrades_to_serial(self, serial_outcome,
                                              monkeypatch):
+        sweep_module.shutdown_pools()  # a live warm pool would bypass the patch
         monkeypatch.setattr(sweep_module, "_make_pool", lambda jobs: None)
         fallback = run_sweep(list(POINTS), jobs=4)
         assert result_bytes(fallback) == result_bytes(serial_outcome)
@@ -73,9 +74,47 @@ class TestSerialFallback:
     def test_jobs_one_never_builds_a_pool(self, monkeypatch):
         def boom(jobs):
             raise AssertionError("jobs=1 must not construct a pool")
+        sweep_module.shutdown_pools()
         monkeypatch.setattr(sweep_module, "_make_pool", boom)
         outcome = run_sweep([POINTS[0]], jobs=1)
         assert len(outcome.results) == 1
+
+
+class TestWarmPools:
+    def test_pool_is_reused_across_sweeps(self, monkeypatch):
+        sweep_module.shutdown_pools()
+        builds = []
+        real = sweep_module.make_pool
+
+        def counting(jobs):
+            builds.append(jobs)
+            return real(jobs)
+
+        monkeypatch.setattr(sweep_module, "_make_pool", counting)
+        first = run_sweep(list(POINTS), jobs=2)
+        second = run_sweep(list(POINTS), jobs=2)
+        assert result_bytes(first) == result_bytes(second)
+        assert builds == [2]  # second sweep reused the warm pool
+        sweep_module.shutdown_pools()
+
+    def test_warm_pool_results_match_serial(self, serial_outcome):
+        sweep_module.shutdown_pools()
+        run_sweep(list(POINTS[:2]), jobs=2)  # warms the 2-worker pool
+        warm = run_sweep(list(POINTS), jobs=2)
+        assert result_bytes(warm) == result_bytes(serial_outcome)
+        sweep_module.shutdown_pools()
+
+    def test_discard_pool_recovers_after_worker_error(self, monkeypatch):
+        sweep_module.shutdown_pools()
+        bad = SweepPoint(DesignPoint.FREECURSIVE, "no-such-workload",
+                         trace_length=300,
+                         config=small_config(DesignPoint.FREECURSIVE))
+        with pytest.raises(Exception):
+            run_sweep([bad, bad], jobs=2)
+        assert sweep_module._WARM_POOLS == {}  # broken pool was dropped
+        outcome = run_sweep(list(POINTS), jobs=2)
+        assert len(outcome.results) == len(POINTS)
+        sweep_module.shutdown_pools()
 
 
 class TestMetrics:

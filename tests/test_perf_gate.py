@@ -69,6 +69,39 @@ class TestCompareSemantics:
         kinds = [item.kind for item in report.findings]
         assert kinds == ["wall-skipped"]
 
+    @pytest.mark.parametrize("caveat_on", ["baseline", "current", "both"])
+    def test_wall_skipped_when_either_side_has_single_core_caveat(
+            self, caveat_on):
+        base_extra = {"single_core_caveat": caveat_on in ("baseline", "both"),
+                      "speedup": 4.0}
+        cur_extra = {"single_core_caveat": caveat_on in ("current", "both"),
+                     "speedup": 0.5}
+        base = _gate_record(wall_ms=10.0, extra_measure=base_extra)
+        current = _gate_record(wall_ms=9999.0, extra_measure=cur_extra)
+        report = compare_records([base], [current])
+        assert report.ok     # wall band skipped entirely, nothing fails
+        skips = [item for item in report.findings
+                 if item.kind == "wall-skipped"]
+        assert len(skips) == 1
+        assert skips[0].metric == "measure.single_core_caveat"
+
+    def test_caveat_false_on_both_sides_still_compares_wall(self):
+        base = _gate_record(wall_ms=10.0,
+                            extra_measure={"single_core_caveat": False})
+        current = _gate_record(wall_ms=9999.0,
+                               extra_measure={"single_core_caveat": False})
+        report = compare_records([base], [current])
+        assert not report.ok
+        assert report.findings[0].kind == "wall-regression"
+
+    def test_host_fact_keys_never_fail_exact_comparison(self):
+        base = _gate_record(extra_measure={"single_core_caveat": True,
+                                           "cpu_count": 1})
+        current = _gate_record(extra_measure={"single_core_caveat": False,
+                                              "cpu_count": 64})
+        report = compare_records([base], [current])
+        assert report.ok
+
     def test_only_shared_keys_compared(self):
         # schema growth: a metric the old baseline lacks must not fail
         old = _gate_record()

@@ -2,6 +2,7 @@
 
 import json
 import os
+import re
 
 import pytest
 
@@ -143,3 +144,74 @@ class TestDefaultDirectory:
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
         assert (default_cache_dir("/anchor") ==
                 os.path.join("/anchor", DEFAULT_CACHE_DIRNAME))
+
+
+class TestDiskStats:
+    def test_counts_entries_stale_and_bytes(self, cache, result):
+        keep = cache.key_for(CONFIG, "mcf", 200, fingerprint="cur")
+        drop = cache.key_for(CONFIG, "lbm", 200, fingerprint="old")
+        keep_path = cache.put(keep, result, fingerprint="cur")
+        drop_path = cache.put(drop, result, fingerprint="old")
+        stats = cache.disk_stats(fingerprint="cur")
+        assert stats["entries"] == 2
+        assert stats["stale"] == 1
+        assert stats["unreadable"] == 0
+        assert stats["bytes"] == (os.path.getsize(keep_path)
+                                  + os.path.getsize(drop_path))
+
+    def test_unreadable_entry_counts_as_stale(self, cache, result):
+        key = cache.key_for(CONFIG, "mcf", 200, fingerprint="cur")
+        path = cache.put(key, result, fingerprint="cur")
+        with open(path, "w") as handle:
+            handle.write("not json")
+        stats = cache.disk_stats(fingerprint="cur")
+        assert stats == {"entries": 1, "stale": 1, "unreadable": 1,
+                         "bytes": os.path.getsize(path)}
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        cache = RunCache(str(tmp_path / "never-created"))
+        assert cache.disk_stats("f") == {"entries": 0, "stale": 0,
+                                         "unreadable": 0, "bytes": 0}
+
+
+class TestCacheCli:
+    """The ``cache stats`` / ``cache prune`` CLI verbs."""
+
+    @pytest.fixture
+    def populated(self, tmp_path, result, monkeypatch):
+        # The CLI uses the real code fingerprint, so plant one entry
+        # under it and one under a fabricated stale fingerprint.
+        from repro.parallel.fingerprint import code_fingerprint
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        directory = str(tmp_path / "cli-cache")
+        cache = RunCache(directory)
+        current = code_fingerprint()
+        cache.put(cache.key_for(CONFIG, "mcf", 200, fingerprint=current),
+                  result, fingerprint=current)
+        cache.put(cache.key_for(CONFIG, "lbm", 200, fingerprint="0" * 64),
+                  result, fingerprint="0" * 64)
+        return directory
+
+    def test_stats_reports_counts(self, populated, capsys):
+        from repro.cli import main
+        assert main(["cache", "stats", "--cache-dir", populated]) == 0
+        out = capsys.readouterr().out
+        assert re.search(r"entries:\s+2", out)
+        assert re.search(r"stale:\s+1", out)
+        assert populated in out
+
+    def test_prune_removes_only_stale_entries(self, populated, capsys):
+        from repro.cli import main
+        assert main(["cache", "prune", "--cache-dir", populated]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 stale entr" in out
+        assert RunCache(populated).entry_count() == 1
+        assert main(["cache", "stats", "--cache-dir", populated]) == 0
+        assert re.search(r"stale:\s+0", capsys.readouterr().out)
+
+    def test_env_var_supplies_default_directory(self, populated, capsys,
+                                                monkeypatch):
+        from repro.cli import main
+        monkeypatch.setenv(CACHE_DIR_ENV, populated)
+        assert main(["cache", "stats"]) == 0
+        assert re.search(r"entries:\s+2", capsys.readouterr().out)
