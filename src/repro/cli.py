@@ -20,6 +20,11 @@ Subcommands:
   coalescing, p50/p95/p99/p999 sojourn times, shed rates against the
   Section IV-C M/M/1/K prediction; exits non-zero if any report shows
   the queue-depth bound violated.
+* ``serve-sharded`` — the sharded serving tier: leaf-MSB consistent-hash
+  routing to one worker process per shard, per-shard bounded admission,
+  aggregate SLO folding, transfer-queue migration accounting, and an
+  optional quarantined (degraded) shard; same exit contract as
+  ``serve-bench``, applied per shard.
 * ``perf-report`` — summarize a performance-ledger trajectory file and
   optionally render the static HTML dashboard (``docs/observability.md``).
 * ``perf-gate``  — re-measure the fixed gate suite and compare against
@@ -331,6 +336,89 @@ def cmd_serve_bench(args) -> int:
             print(render_table(block, title=design))
     bounded = all(report["queue"]["depth_bounded"] for report in reports)
     print("queue depth bounded by K everywhere" if bounded
+          else "queue-depth bound VIOLATED", file=sys.stderr)
+    return 0 if bounded else 1
+
+
+def cmd_serve_sharded(args) -> int:
+    """Handle ``repro serve-sharded``.
+
+    One :class:`~repro.serve.ShardSpec` per offered rate, fanned out to
+    one worker process per shard through
+    :func:`~repro.serve.run_sharded`, then folded into one aggregate
+    report (``docs/serving.md``).  The ledger gets one ``serve-shard``
+    record per shard plus one ``serve-sharded`` record per point.  Exit
+    code 0 requires every shard's peak queue depth to respect the
+    per-shard admission bound.
+    """
+    import json
+
+    from repro.serve import (ShardSpec, canonical_json, render_table,
+                             run_sharded_sweep)
+
+    rates = list(args.rates) if args.rates else [0.002, 0.008, 0.02]
+    quarantined = tuple(args.quarantine_shard or ())
+    specs = [ShardSpec(design=args.design, levels=args.levels,
+                       sites=args.sites, rate=rate, requests=args.requests,
+                       capacity=args.capacity, batch=args.batch,
+                       tenants=args.tenants, arrival=args.arrival,
+                       zipf_exponent=args.zipf,
+                       write_fraction=args.write_fraction,
+                       profile=args.profile, seed=args.seed,
+                       shards=args.shards, subtrees=args.subtrees,
+                       quarantined=quarantined)
+             for rate in rates]
+    meta: List[dict] = []
+    reports = run_sharded_sweep(specs, jobs=args.jobs,
+                                cache=_sweep_cache(args), meta=meta)
+    ledger = _ledger(args)
+    if ledger is not None:
+        from repro.obs.ledger import make_record, serve_core
+        from repro.parallel.fingerprint import code_fingerprint
+
+        fingerprint = code_fingerprint()
+        for report, info in zip(reports, meta):
+            for shard_report in report["shards"]:
+                core = serve_core(shard_report, fingerprint=fingerprint)
+                core["point"]["shard"] = shard_report["spec"].get("shard")
+                ledger.append(make_record(
+                    "serve-shard", core, jobs=args.jobs,
+                    from_cache=bool(info["from_cache"])))
+            core = serve_core(report, fingerprint=fingerprint)
+            core["point"]["shards"] = report["spec"].get("shards")
+            ledger.append(make_record(
+                "serve-sharded", core, wall_ms=float(info["wall_ms"]),
+                jobs=args.jobs, from_cache=bool(info["from_cache"])))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            handle.write("[")
+            handle.write(",".join(canonical_json(report)
+                                  for report in reports))
+            handle.write("]\n")
+        print(f"wrote {len(reports)} sharded reports to {args.report}",
+              file=sys.stderr)
+    if args.json:
+        print(json.dumps(reports, indent=2, sort_keys=True))
+    else:
+        for report in reports:
+            rate = report["spec"]["rate"]
+            print(render_table(
+                report["shards"],
+                title=f"{args.design} rate={rate} "
+                      f"(per shard; {args.shards} shards)"))
+            degraded = report["degraded"]
+            if degraded["quarantined"]:
+                print(f"  degraded: shards {degraded['quarantined']} "
+                      f"quarantined, "
+                      f"{degraded['degraded_accesses']} degraded accesses, "
+                      f"{degraded['lost_appends']} lost appends")
+            migration = report["migration"]
+            print(f"  migration: {migration['migrations']} cross-shard "
+                  f"moves ({migration['migration_fraction']:.1%}, "
+                  f"expected {migration['expected_migration_fraction']:.1%}"
+                  f"), {migration['overflows']} overflows")
+    bounded = all(report["queue"]["depth_bounded"] for report in reports)
+    print("queue depth bounded by K on every shard" if bounded
           else "queue-depth bound VIOLATED", file=sys.stderr)
     return 0 if bounded else 1
 
@@ -804,6 +892,57 @@ def build_parser() -> argparse.ArgumentParser:
     concurrency(serve)
     ledger_opt(serve)
     serve.set_defaults(handler=cmd_serve_bench)
+
+    sharded = subparsers.add_parser(
+        "serve-sharded",
+        help="sharded serving tier: leaf-MSB consistent-hash routing to "
+             "one worker process per shard (docs/serving.md)")
+    sharded.add_argument("--design", default="independent",
+                         choices=("independent", "split", "indep-split"),
+                         help="protocol every shard runs "
+                              "(default: independent)")
+    sharded.add_argument("--shards", type=int, default=2,
+                         help="worker shard count (power of two)")
+    sharded.add_argument("--subtrees", type=int, default=16,
+                         help="leaf-MSB subtrees on the hash ring "
+                              "(power of two, >= shards)")
+    sharded.add_argument("--quarantine-shard", type=int, action="append",
+                         default=None, metavar="S",
+                         help="run shard S in degraded quarantine mode "
+                              "(repeatable; independent/indep-split only)")
+    sharded.add_argument("--rates", type=float, nargs="+", default=None,
+                         metavar="R", help="offered rates in requests per "
+                         "tick (default: 0.002 0.008 0.02)")
+    sharded.add_argument("--requests", type=int, default=512,
+                         help="offered requests per point (pre-routing)")
+    sharded.add_argument("--capacity", type=int, default=32,
+                         help="admission queue capacity K, per shard")
+    sharded.add_argument("--batch", type=int, default=8,
+                         help="requests drained per scheduling round")
+    sharded.add_argument("--tenants", type=int, default=1,
+                         help="independent tenant streams sharing the rate")
+    sharded.add_argument("--arrival", default="poisson",
+                         choices=("poisson", "burst", "uniform"))
+    sharded.add_argument("--zipf", type=float, default=0.0,
+                         help="Zipf exponent over each tenant's addresses "
+                              "(0 = uniform)")
+    sharded.add_argument("--write-fraction", type=float, default=0.25)
+    sharded.add_argument("--profile", default=None,
+                         help="borrow a workload profile's locality knobs "
+                              "(see `repro workloads`)")
+    sharded.add_argument("--levels", type=int, default=9)
+    sharded.add_argument("--sites", type=int, default=2,
+                         help="SDIMM count (independent) or group count "
+                              "(indep-split), per shard")
+    sharded.add_argument("--seed", type=int, default=2018)
+    sharded.add_argument("--report", default=None, metavar="FILE",
+                         help="write the canonical JSON aggregate reports "
+                              "(byte-identical across --jobs and replays)")
+    sharded.add_argument("--json", action="store_true",
+                         help="emit machine-readable reports on stdout")
+    concurrency(sharded)
+    ledger_opt(sharded)
+    sharded.set_defaults(handler=cmd_serve_sharded)
 
     perf_report = subparsers.add_parser(
         "perf-report",

@@ -380,6 +380,64 @@ def audit_freecursive_protocol(addresses_a: Sequence[int],
 
 
 # ----------------------------------------------------------------------
+# Sharded-routing audit: the serving tier's shard key is the address
+# ----------------------------------------------------------------------
+
+def audit_sharded_routing(addresses_a: Sequence[int],
+                          addresses_b: Sequence[int],
+                          shards: int = 2, subtrees: int = 8,
+                          levels: int = 6, sites: int = 2,
+                          seed: int = 2018,
+                          expose_shard: bool = False) -> AuditResult:
+    """Link-shape audit of the sharded serving tier's routing.
+
+    The shard key *is* a function of the address (top leaf-MSB bits
+    through the consistent-hash ring), so sharding is only oblivious if
+    the adversary cannot tell **which** shard served an access.  On the
+    link bus that holds: :meth:`LinkEvent.shape` excludes the target, and
+    every shard's per-access traffic has the same fixed shape — so the
+    arrival-ordered concatenation of per-access link-shape chunks across
+    all shard protocols must be identical for two different address
+    streams.
+
+    ``expose_shard`` is the negative control: prefixing each shape with
+    the serving shard's index models a deployment where shards are
+    physically distinguishable (separate channels, per-shard timing).
+    That trace *is* address-dependent and the audit must flag it — which
+    is exactly why the tier keeps shard fan-out behind the position-
+    independent link observable.
+    """
+    from repro.core.independent import IndependentProtocol
+    from repro.serve.shard import ShardPlan
+
+    plan = ShardPlan(shards=shards, subtrees=subtrees, levels=levels,
+                     virtual_nodes=8)
+    limit = 1 << (levels - 1)
+    canonical = []
+    for stream in (addresses_a, addresses_b):
+        protocols = [IndependentProtocol(global_levels=levels,
+                                         sdimm_count=sites, seed=seed,
+                                         record_link=True)
+                     for _ in range(shards)]
+        observed: List[Tuple] = []
+        for raw in stream:
+            address = raw % limit
+            shard = plan.shard_of_address(address)
+            protocol = protocols[shard]
+            before = len(protocol.link)
+            protocol.read(address)
+            chunk = protocol.link.shapes()[before:]
+            if expose_shard:
+                observed.extend((shard,) + shape for shape in chunk)
+            else:
+                observed.extend(chunk)
+        canonical.append(observed)
+    suffix = "+shard-exposed" if expose_shard else ""
+    return compare_observables(f"routing:sharded{suffix}", "link-shape",
+                               canonical[0], canonical[1])
+
+
+# ----------------------------------------------------------------------
 # Faulted audits (repro.faults): retries must look like re-accesses
 # ----------------------------------------------------------------------
 
@@ -515,10 +573,12 @@ def run_full_audit(misses: int = 12, accesses: int = 48,
 
     Timing tier: freecursive / indep-2 / split-2 must show byte-identical
     adversary traces.  Functional tier: the canonicalized protocol
-    observables must match.  With ``include_negative_control``, the
-    non-secure baseline is audited too and *expected* to fail — its result
-    is returned with the name prefix ``negative-control:`` so callers
-    treat distinguishability as the success condition.  With
+    observables must match, and the sharded serving tier's routing
+    (:func:`audit_sharded_routing`) must not be visible on the link.
+    With ``include_negative_control``, two *expected* failures are
+    audited too — the non-secure baseline and a shard-exposing routing
+    variant — each returned with the name prefix ``negative-control:``
+    so callers treat distinguishability as the success condition.  With
     ``with_faults``, the faulted variants run too: the same designs under
     an identical seeded fault plan (and a fixed bus-stall schedule at the
     timing tier) must remain indistinguishable — retries have to look
@@ -537,6 +597,7 @@ def run_full_audit(misses: int = 12, accesses: int = 48,
         audit_independent_protocol(stream_a, stream_b, seed=seed),
         audit_split_protocol(stream_a, stream_b, seed=seed),
         audit_indep_split_protocol(stream_a, stream_b, seed=seed),
+        audit_sharded_routing(stream_a, stream_b, seed=seed),
     ]
     if with_faults:
         results.extend([
@@ -555,4 +616,8 @@ def run_full_audit(misses: int = 12, accesses: int = 48,
                                       seed=seed)
         control.name = f"negative-control:{control.name}"
         results.append(control)
+        exposed = audit_sharded_routing(stream_a, stream_b, seed=seed,
+                                        expose_shard=True)
+        exposed.name = f"negative-control:{exposed.name}"
+        results.append(exposed)
     return results

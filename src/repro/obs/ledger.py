@@ -206,12 +206,21 @@ class Ledger:
 def resolve_ledger(path: Optional[str] = None) -> Optional[Ledger]:
     """The ledger a CLI verb should append to, or ``None`` for none.
 
-    Order: explicit ``--ledger`` path, then :data:`LEDGER_ENV`; either
-    way :data:`LEDGER_DISABLE_ENV` wins.
+    An explicit ``--ledger`` path is a direct user request and always
+    wins — even over :data:`LEDGER_DISABLE_ENV`, with a warning so the
+    override is visible rather than silent.  Without one, the ambient
+    :data:`LEDGER_ENV` default applies, which the disable variable
+    silences (the CI determinism jobs rely on that).
     """
-    if os.environ.get(LEDGER_DISABLE_ENV) == "1":
+    disabled = os.environ.get(LEDGER_DISABLE_ENV) == "1"
+    if path:
+        if disabled:
+            print(f"ledger: explicit --ledger {path} overrides "
+                  f"{LEDGER_DISABLE_ENV}=1", file=sys.stderr)
+        return Ledger(path)
+    if disabled:
         return None
-    target = path or os.environ.get(LEDGER_ENV)
+    target = os.environ.get(LEDGER_ENV)
     return Ledger(target) if target else None
 
 

@@ -181,17 +181,21 @@ def fold_metrics(target: MetricsRegistry, payload: Dict[str, object]) -> None:
 # The engine
 # ----------------------------------------------------------------------
 
-def make_pool(jobs: int):
+def make_pool(jobs: int, initializer=None, initargs=()):
     """A worker pool, or ``None`` when the platform cannot provide one.
 
     Shared by every fan-out in the tree (sweeps, serve benchmarks, the
     lint runner): one place encodes the "pool or identical serial
-    fallback" contract.
+    fallback" contract.  ``initializer`` runs once in each worker at
+    pool start — the warm-pool layer uses it to resynchronize the A/B
+    switch environment (see :func:`_pool_initializer`).
     """
     try:
         import multiprocessing
 
-        return multiprocessing.get_context().Pool(jobs)
+        return multiprocessing.get_context().Pool(jobs,
+                                                  initializer=initializer,
+                                                  initargs=initargs)
     except (ImportError, OSError, ValueError):
         return None
 
@@ -204,32 +208,71 @@ _make_pool = make_pool
 # Warm pools: reuse workers across run_sweep calls
 # ----------------------------------------------------------------------
 
-#: Live pools keyed by worker count.  A benchmark session runs many
-#: sweeps back to back; keeping the workers alive amortizes process
-#: start-up and lets worker-side memo caches (pattern memos, delta
-#: tables) stay warm.  Workers re-derive every result from the pickled
-#: :class:`SweepPoint` alone, so a warm worker returns byte-identical
-#: payloads to a cold one — the jobs-parity tests pin this.
-_WARM_POOLS: Dict[int, object] = {}
+#: Live pools keyed by (worker count, A/B switch-env signature).  A
+#: benchmark session runs many sweeps back to back; keeping the workers
+#: alive amortizes process start-up and lets worker-side memo caches
+#: (pattern memos, delta tables) stay warm.  Workers re-derive every
+#: result from the pickled :class:`SweepPoint` alone, so a warm worker
+#: returns byte-identical payloads to a cold one — the jobs-parity tests
+#: pin this.  The signature half of the key is the A/B-toggle guard: a
+#: worker forked under ``REPRO_DISABLE_FASTPATH`` (or the reference-core
+#: / memo switches) would silently keep running that core after the
+#: parent toggled the variable, so a toggle must retire the pool rather
+#: than reuse it (``tests/test_parallel_sweep.py`` pins the differential).
+_WARM_POOLS: Dict[Tuple[int, Tuple[str, ...]], object] = {}
 _ATEXIT_REGISTERED = False
+
+
+def _pool_initializer(signature: Tuple[str, ...]) -> None:
+    """Runs once in every pool worker: re-apply the A/B switch env.
+
+    Fork inherits the parent's *imported module state*, and the switch
+    flags are read once at import and copied by value into consumer
+    modules — so even a freshly created pool can carry settings computed
+    under an environment that no longer holds.  Re-applying the snapshot
+    and refreshing the switches makes the worker run exactly the cores
+    the signature promises, on every start method.
+    """
+    import os
+
+    from repro.utils import memo
+
+    for name, value in zip(memo.SWITCH_ENVS, signature):
+        if value == "":
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+    memo.refresh_switches()
 
 
 def warm_pool(jobs: int):
     """The persistent pool for ``jobs`` workers (``None`` if unavailable).
 
-    Pools are created on first use, reused on every later call with the
-    same ``jobs``, and torn down at interpreter exit (or explicitly via
+    Pools are created on first use and reused on every later call with
+    the same ``jobs`` *and* the same A/B switch-env signature
+    (:func:`repro.utils.memo.switch_env_signature`); toggling a switch
+    retires the old pool and starts fresh workers under the new setting.
+    Pools are torn down at interpreter exit (or explicitly via
     :func:`shutdown_pools`).  Callers must not ``close()`` the returned
     pool; on a worker exception they should hand it to
     :func:`discard_pool` so the next sweep starts from a fresh pool.
     """
     global _ATEXIT_REGISTERED
-    pool = _WARM_POOLS.get(jobs)
+    from repro.utils.memo import switch_env_signature
+
+    signature = switch_env_signature()
+    key = (jobs, signature)
+    pool = _WARM_POOLS.get(key)
     if pool is not None:
         return pool
-    pool = _make_pool(jobs)
+    # a pool for the same jobs under a previous signature is stale by
+    # construction — terminate it rather than let it linger
+    for stale in [entry for entry in _WARM_POOLS if entry[0] == jobs]:
+        _discard_entry(stale)
+    pool = _make_pool(jobs, initializer=_pool_initializer,
+                      initargs=(signature,))
     if pool is not None:
-        _WARM_POOLS[jobs] = pool
+        _WARM_POOLS[key] = pool
         if not _ATEXIT_REGISTERED:
             import atexit
 
@@ -238,18 +281,23 @@ def warm_pool(jobs: int):
     return pool
 
 
-def discard_pool(jobs: int) -> None:
-    """Terminate and forget the warm pool for ``jobs`` (error recovery)."""
-    pool = _WARM_POOLS.pop(jobs, None)
+def _discard_entry(key: Tuple[int, Tuple[str, ...]]) -> None:
+    pool = _WARM_POOLS.pop(key, None)
     if pool is not None:
         pool.terminate()
         pool.join()
 
 
+def discard_pool(jobs: int) -> None:
+    """Terminate and forget every warm pool for ``jobs`` (error recovery)."""
+    for key in [entry for entry in _WARM_POOLS if entry[0] == jobs]:
+        _discard_entry(key)
+
+
 def shutdown_pools() -> None:
     """Terminate every warm pool (atexit hook; also used by tests)."""
-    for jobs in list(_WARM_POOLS):
-        discard_pool(jobs)
+    for key in list(_WARM_POOLS):
+        _discard_entry(key)
 
 
 def run_sweep(points: Sequence[SweepPoint], jobs: int = 1,

@@ -3,8 +3,12 @@
 Load generation (:mod:`~repro.serve.loadgen`), the bounded batching
 scheduler with backpressure (:mod:`~repro.serve.scheduler`), SLO
 reporting against the Section IV-C queueing model
-(:mod:`~repro.serve.slo`), and cached parallel rate sweeps
-(:mod:`~repro.serve.bench`) behind ``python -m repro serve-bench``.
+(:mod:`~repro.serve.slo`), cached parallel rate sweeps
+(:mod:`~repro.serve.bench`) behind ``python -m repro serve-bench``, and
+the sharded multi-process tier over leaf-MSB partitions
+(:mod:`~repro.serve.shard` routing and per-shard workers,
+:mod:`~repro.serve.router` fan-out and aggregate folding) behind
+``python -m repro serve-sharded``.
 """
 
 from repro.serve.bench import (
@@ -29,6 +33,21 @@ from repro.serve.scheduler import (
     Completion,
     SchedulerOutcome,
 )
+from repro.serve.router import (
+    SHARD_SCHEMA,
+    fold_shard_reports,
+    run_sharded,
+    run_sharded_sweep,
+    sharded_cache_key,
+)
+from repro.serve.shard import (
+    ShardPlan,
+    ShardSpec,
+    build_plan,
+    model_migrations,
+    route_requests,
+    run_shard,
+)
 from repro.serve.slo import (
     REPORT_SCHEMA,
     build_report,
@@ -43,19 +62,30 @@ __all__ = [
     "Completion",
     "REPORT_SCHEMA",
     "Request",
+    "SHARD_SCHEMA",
     "SchedulerOutcome",
     "ServeSpec",
+    "ShardPlan",
+    "ShardSpec",
     "TenantSpec",
+    "build_plan",
     "build_report",
     "build_serving_protocol",
     "canonical_json",
     "compare_with_model",
+    "fold_shard_reports",
     "generate_requests",
     "generate_stream",
     "merge_streams",
+    "model_migrations",
     "offered_load",
+    "route_requests",
     "run_serve",
     "run_serve_sweep",
+    "run_shard",
+    "run_sharded",
+    "run_sharded_sweep",
     "serve_cache_key",
+    "sharded_cache_key",
     "tenant_from_profile",
 ]

@@ -214,9 +214,9 @@ def run_serve_sweep(specs: Sequence[ServeSpec], jobs: int = 1,
                     ) -> List[Dict[str, object]]:
     """Run several serving points; reports come back in submission order.
 
-    Mirrors :func:`repro.parallel.sweep.run_sweep`: cache-first, pool
-    with serial fallback, submission-index merge so the output is
-    bit-identical regardless of completion order or ``jobs``.
+    Mirrors :func:`repro.parallel.sweep.run_sweep`: cache-first, warm
+    persistent pool with serial fallback, submission-index merge so the
+    output is bit-identical regardless of completion order or ``jobs``.
 
     ``meta``, when given, receives one ``{"wall_ms", "from_cache"}`` dict
     per spec (submission order) — the volatile side-channel the ledger
@@ -245,20 +245,23 @@ def run_serve_sweep(specs: Sequence[ServeSpec], jobs: int = 1,
     payloads: List[Tuple[int, Dict[str, object], float]] = []
     pool = None
     if jobs > 1 and len(pending) > 1:
-        from repro.parallel.sweep import make_pool
+        from repro.parallel.sweep import warm_pool
 
-        pool = make_pool(jobs)
+        pool = warm_pool(jobs)
     if pool is None:
         for task in pending:
             payloads.append(_serve_worker(task))
     else:
-        with pool:
+        try:
             # completion order is nondeterministic; the sorted merge
             # below restores submission order
             for item in pool.imap_unordered(_serve_worker, pending):
                 payloads.append(item)
-            pool.close()
-            pool.join()
+        except BaseException:
+            from repro.parallel.sweep import discard_pool
+
+            discard_pool(jobs)
+            raise
 
     for index, payload, wall_ms in sorted(payloads,
                                           key=lambda item: item[0]):

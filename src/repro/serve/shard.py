@@ -1,0 +1,389 @@
+"""Sharding the serving tier over leaf-MSB subtrees (docs/serving.md).
+
+The Independent protocol already partitions its ORAM tree across SDIMMs
+by the most significant bits of the leaf ID
+(:meth:`repro.core.independent.IndependentBuffer.owner_of`), and Path
+ORAM's per-subtree independence makes that split correct without
+cross-shard coordination on the access path.  The serving tier reuses
+exactly that key one layer up:
+
+* the global leaf space is cut into ``subtrees`` equal leaf-MSB slices
+  (``subtree_of`` is ``owner_of`` with more bits);
+* a **consistent-hash ring** (:class:`ShardPlan`) maps each subtree to
+  one of ``shards`` persistent worker processes, so growing the shard
+  count moves only the subtrees that rehash — not the whole space;
+* each shard runs its own full protocol instance and its own bounded
+  :class:`~repro.serve.scheduler.BatchingScheduler`, so overload on a
+  shard sheds structured ``AdmissionRejected`` records exactly like the
+  single-server tier — never unbounded buffering;
+* cross-shard block migration — a served block remapping to a leaf
+  another shard owns — is modeled by the paper's transfer-queue random
+  walk (:class:`~repro.core.transfer_queue.TransferQueue`, Section
+  IV-C), with the Figure 13 analytic curves as cross-checks.
+
+Everything here is a pure function of the picklable :class:`ShardSpec`:
+workers re-derive the full timeline and routing from the spec alone,
+which is what makes the sharded reports byte-identical for any
+``--jobs`` value, across warm and cold pools, and across cached replays.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.bench import ServeSpec, build_serving_protocol, \
+    generate_requests
+from repro.serve.loadgen import Request
+from repro.serve.scheduler import BatchingScheduler
+from repro.serve.slo import build_report
+
+#: Designs whose protocol exposes the ``quarantine`` resilience seam.
+_QUARANTINABLE = ("independent", "indep-split")
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value >= 1 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One sharded serving point (picklable, canonical, cache-keyable).
+
+    Extends the single-server :class:`~repro.serve.bench.ServeSpec`
+    surface with the shard-tier knobs: how many worker shards, how many
+    leaf-MSB subtrees the ring distributes, the migration queue, and
+    which shards (if any) are quarantined for a degraded-mode run.
+    """
+
+    design: str = "independent"
+    levels: int = 9
+    sites: int = 2
+    rate: float = 0.002
+    requests: int = 512
+    #: admission queue capacity K — per shard
+    capacity: int = 32
+    batch: int = 8
+    tenants: int = 1
+    arrival: str = "poisson"
+    zipf_exponent: float = 0.0
+    write_fraction: float = 0.25
+    profile: Optional[str] = None
+    seed: int = 2018
+    blocks_per_bucket: int = 4
+    block_bytes: int = 64
+    stash_capacity: int = 256
+    #: worker shard count (power of two)
+    shards: int = 2
+    #: leaf-MSB subtrees on the hash ring (power of two, >= shards)
+    subtrees: int = 16
+    #: virtual ring nodes per shard (evens out the consistent hash)
+    virtual_nodes: int = 8
+    #: cross-shard migration transfer-queue capacity K (Section IV-C)
+    migration_capacity: int = 64
+    #: per-arrival drain-lottery probability p of the migration queue
+    migration_drain: float = 0.05
+    #: shards whose whole protocol is quarantined (degraded mode)
+    quarantined: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        # delegate the shared serving-field validation to ServeSpec
+        self.base_spec()
+        if not _is_power_of_two(self.shards):
+            raise ValueError("shard count must be a power of two")
+        if not _is_power_of_two(self.subtrees):
+            raise ValueError("subtree count must be a power of two")
+        if self.subtrees < self.shards:
+            raise ValueError("need at least one subtree per shard")
+        if self.subtrees > self.address_limit:
+            raise ValueError("more subtrees than leaves: "
+                             f"{self.subtrees} > {self.address_limit}")
+        if self.virtual_nodes < 1:
+            raise ValueError("need at least one virtual node per shard")
+        if self.migration_capacity < 1:
+            raise ValueError("migration queue needs capacity >= 1")
+        if not 0.0 <= self.migration_drain <= 1.0:
+            raise ValueError("migration drain must be a probability")
+        quarantined = tuple(sorted(set(int(s) for s in self.quarantined)))
+        object.__setattr__(self, "quarantined", quarantined)
+        for shard in quarantined:
+            if not 0 <= shard < self.shards:
+                raise ValueError(f"quarantined shard {shard} out of range")
+        if quarantined and self.design not in _QUARANTINABLE:
+            raise ValueError(
+                f"design {self.design!r} has no quarantine seam; "
+                f"choose one of {_QUARANTINABLE}")
+
+    @property
+    def address_limit(self) -> int:
+        return 1 << (self.levels - 1)
+
+    @property
+    def subtree_bits(self) -> int:
+        return self.subtrees.bit_length() - 1
+
+    def base_spec(self) -> ServeSpec:
+        """The single-server spec every shard worker re-derives from."""
+        return ServeSpec(
+            design=self.design, levels=self.levels, sites=self.sites,
+            rate=self.rate, requests=self.requests, capacity=self.capacity,
+            batch=self.batch, tenants=self.tenants, arrival=self.arrival,
+            zipf_exponent=self.zipf_exponent,
+            write_fraction=self.write_fraction, profile=self.profile,
+            seed=self.seed, blocks_per_bucket=self.blocks_per_bucket,
+            block_bytes=self.block_bytes,
+            stash_capacity=self.stash_capacity)
+
+    def to_dict(self) -> Dict[str, object]:
+        payload = asdict(self)
+        payload["quarantined"] = list(self.quarantined)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ShardSpec":
+        fields = {key: payload[key]
+                  for key in cls.__dataclass_fields__  # noqa: SLF001
+                  if key in payload}
+        if "quarantined" in fields:
+            fields["quarantined"] = tuple(fields["quarantined"])
+        return cls(**fields)
+
+
+class ShardPlan:
+    """The deterministic consistent-hash ring over leaf-MSB subtrees.
+
+    Each shard contributes ``virtual_nodes`` ring points; a subtree maps
+    to the first ring point clockwise of its own hash.  The ring is a
+    pure function of (shards, virtual_nodes), so every process — router,
+    worker, auditor — derives the identical assignment with no shared
+    state, and adding a shard remaps only the subtrees whose arcs the
+    new ring points claim.
+    """
+
+    def __init__(self, shards: int, subtrees: int, levels: int,
+                 virtual_nodes: int):
+        subtree_bits = subtrees.bit_length() - 1
+        leaf_bits = levels - 1
+        if subtree_bits > leaf_bits:
+            raise ValueError("more subtrees than leaves")
+        self.shards = shards
+        self.subtrees = subtrees
+        self.subtree_bits = subtree_bits
+        #: right-shift turning an address (== its leaf) into its subtree
+        self._shift = leaf_bits - subtree_bits
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for node in range(virtual_nodes):
+                points.append((self._hash(f"shard:{shard}/node:{node}"),
+                               shard))
+        points.sort()
+        self._ring_keys = [key for key, _ in points]
+        self._ring_shards = [shard for _, shard in points]
+        self._subtree_shard = [self._ring_lookup(f"subtree:{index}")
+                               for index in range(subtrees)]
+
+    @classmethod
+    def from_spec(cls, spec: ShardSpec) -> "ShardPlan":
+        return cls(spec.shards, spec.subtrees, spec.levels,
+                   spec.virtual_nodes)
+
+    @staticmethod
+    def _hash(label: str) -> int:
+        return int.from_bytes(hashlib.sha256(label.encode()).digest()[:8],
+                              "big")
+
+    def _ring_lookup(self, label: str) -> int:
+        index = bisect_right(self._ring_keys, self._hash(label))
+        return self._ring_shards[index % len(self._ring_shards)]
+
+    def subtree_of(self, address: int) -> int:
+        """The leaf-MSB subtree of an address — ``owner_of`` writ small.
+
+        The serving tier maps addresses one-to-one onto leaves
+        (``ServeSpec.address_limit`` is one block per leaf), so the top
+        ``subtree_bits`` of the address are the top bits of its leaf.
+        """
+        return address >> self._shift
+
+    def shard_of_subtree(self, subtree: int) -> int:
+        return self._subtree_shard[subtree]
+
+    def shard_of_address(self, address: int) -> int:
+        return self._subtree_shard[self.subtree_of(address)]
+
+    def assignments(self) -> Dict[str, int]:
+        """subtree -> shard, JSON-keyed (the report's routing table)."""
+        return {str(index): shard
+                for index, shard in enumerate(self._subtree_shard)}
+
+    def shares(self) -> List[float]:
+        """Fraction of the leaf space each shard owns."""
+        counts = [0] * self.shards
+        for shard in self._subtree_shard:
+            counts[shard] += 1
+        return [count / self.subtrees for count in counts]
+
+
+def build_plan(spec: ShardSpec) -> ShardPlan:
+    """The spec's routing plan (a pure function of the spec)."""
+    return ShardPlan.from_spec(spec)
+
+
+def route_requests(spec: ShardSpec,
+                   plan: Optional[ShardPlan] = None
+                   ) -> List[Tuple[int, Request]]:
+    """The full timeline with each request's owning shard, arrival order.
+
+    Pure function of the spec: router, workers and audits all call this
+    and agree on the routing without communicating.
+    """
+    if plan is None:
+        plan = build_plan(spec)
+    timeline = generate_requests(spec.base_spec())
+    return [(plan.shard_of_address(request.address), request)
+            for request in timeline]
+
+
+# ----------------------------------------------------------------------
+# The per-shard worker
+# ----------------------------------------------------------------------
+
+def run_shard(spec: ShardSpec, shard: int) -> Dict[str, object]:
+    """Serve one shard's slice of the timeline; returns a payload dict.
+
+    The payload carries the canonical per-shard report plus the raw
+    material the router folds: the sojourn samples (aggregate and per
+    tenant) and the shard's ``MetricsRegistry`` dump.  Everything is
+    re-derived from the spec — no parent state crosses the process
+    boundary, which is the determinism argument for the pool fan-out.
+    """
+    if not 0 <= shard < spec.shards:
+        raise ValueError(f"shard {shard} out of range")
+    routed = route_requests(spec)
+    mine = [request for owner, request in routed if owner == shard]
+    base = spec.base_spec()
+    protocol = build_serving_protocol(base)
+    if shard in spec.quarantined:
+        # a whole-shard outage: every site of this shard's protocol is
+        # quarantined, so each access runs the degraded (link-shape
+        # preserving, zero-data) path and is counted honestly
+        for site in range(spec.sites):
+            protocol.quarantine(site)
+    metrics = MetricsRegistry()
+    metrics.gauge("shard/id").set(shard)
+    metrics.counter("shard/routed").inc(len(mine))
+    scheduler = BatchingScheduler(protocol, queue_capacity=spec.capacity,
+                                  batch_size=spec.batch, metrics=metrics,
+                                  sample_seed=spec.seed)
+    outcome = scheduler.run(mine)
+    share = len(mine) / len(routed) if routed else 0.0
+    shard_payload = spec.to_dict()
+    shard_payload["shard"] = shard
+    report = build_report(shard_payload, outcome,
+                          queue_capacity=spec.capacity,
+                          offered_rate=spec.rate * share)
+    report["degraded"] = {
+        "quarantined": shard in spec.quarantined,
+        "degraded_accesses": int(getattr(protocol, "degraded_accesses", 0)),
+        "lost_appends": int(getattr(protocol, "lost_appends", 0)),
+    }
+    return {
+        "report": report,
+        "sojourn_samples": list(outcome.sojourn.samples),
+        "tenant_samples": {tenant: list(stats.samples)
+                           for tenant, stats
+                           in sorted(outcome.per_tenant.items())},
+        "metrics": metrics.as_dict(),
+    }
+
+
+# ----------------------------------------------------------------------
+# Cross-shard migration: the Section IV-C random walk, one tier up
+# ----------------------------------------------------------------------
+
+def model_migrations(spec: ShardSpec, plan: ShardPlan,
+                     routed: List[Tuple[int, Request]]) -> Dict[str, object]:
+    """Replay the transfer-queue random walk over the routed timeline.
+
+    Every served request remaps its block to a fresh uniform leaf (the
+    Path ORAM invariant); when the fresh leaf's subtree hashes to a
+    different shard, the block crosses shards exactly like an APPEND
+    crosses SDIMMs in the paper: the departure vacancy-services the
+    source's queue, the arrival joins the destination's bounded
+    :class:`~repro.core.transfer_queue.TransferQueue` and may trigger
+    its drain lottery.  Overflows are recorded, never raised — the
+    serving tier reports pressure instead of crashing on it.
+
+    The ``model`` sub-section carries the Figure 13 cross-checks: the
+    M/M/1/K overflow probability at the configured (p, K), and the
+    undrained first-passage probability — what the walk would have done
+    with no drain at all.
+    """
+    from repro.analysis.queueing import transfer_queue_overflow_probability
+    from repro.analysis.random_walk import first_passage_overflow_probability
+    from repro.core.transfer_queue import (TransferQueue,
+                                           TransferQueueOverflow)
+    from repro.oram.bucket import Block
+    from repro.utils.rng import DeterministicRng
+
+    remap = DeterministicRng(spec.seed, "serve-sharded/migration")
+    queues = [TransferQueue(spec.migration_capacity, spec.migration_drain,
+                            DeterministicRng(spec.seed,
+                                             f"serve-sharded/queue/{index}"))
+              for index in range(spec.shards)]
+    shares = plan.shares()
+    migrations = 0
+    expected = 0.0
+    for shard, request in routed:
+        expected += 1.0 - shares[shard]
+        fresh = remap.randrange(spec.address_limit)
+        destination = plan.shard_of_address(fresh)
+        if destination == shard:
+            continue
+        migrations += 1
+        # the departing block frees a slot at the source: a queued
+        # in-flight block fills the vacancy for free (Section IV-C)
+        queues[shard].service(via_drain=False)
+        try:
+            drain = queues[destination].push(
+                Block(request.address, fresh, b""))
+        except TransferQueueOverflow:
+            continue  # counted by the queue's own overflow statistics
+        if drain:
+            queues[destination].service(via_drain=True)
+    accesses = len(routed)
+    overflows = sum(queue.overflows for queue in queues)
+    arrivals = sum(queue.arrivals for queue in queues)
+    return {
+        "capacity": spec.migration_capacity,
+        "drain_probability": round(spec.migration_drain, 9),
+        "accesses": accesses,
+        "migrations": migrations,
+        "migration_fraction": round(migrations / accesses, 9)
+        if accesses else 0.0,
+        "expected_migration_fraction": round(expected / accesses, 9)
+        if accesses else 0.0,
+        "overflows": overflows,
+        "overflow_rate": round(overflows / arrivals, 9) if arrivals else 0.0,
+        "per_shard": {
+            str(index): {
+                "arrivals": queue.arrivals,
+                "vacancy_services": queue.vacancy_services,
+                "drain_services": queue.drain_services,
+                "peak_occupancy": queue.peak_occupancy,
+                "overflows": queue.overflows,
+            }
+            for index, queue in enumerate(queues)
+        },
+        "model": {
+            "mm1k_overflow_probability": round(
+                transfer_queue_overflow_probability(
+                    spec.migration_drain, spec.migration_capacity), 15),
+            "undrained_first_passage": round(
+                first_passage_overflow_probability(
+                    spec.migration_capacity, max(1, migrations)), 15),
+        },
+    }

@@ -108,8 +108,13 @@ def compare_with_model(report: Dict[str, object]) -> Dict[str, float]:
     not exceed the Markovian prediction by more than sampling noise.
     """
     model = report["model"]
+    # rho_offered == 0.0 is a legitimate zero-rate measurement, not an
+    # absence — only fall back to the measured value when the field is
+    # actually missing (``or`` would silently swap in rho_measured).
+    rho_offered = model.get("rho_offered")
     return {
-        "rho": model["rho_offered"] or model["rho_measured"],
+        "rho": (model["rho_measured"] if rho_offered is None
+                else rho_offered),
         "predicted_full_probability": model["mm1k_full_probability"],
         "measured_shed_rate": model["shed_rate"],
         "gap": model["shed_rate"] - model["mm1k_full_probability"],

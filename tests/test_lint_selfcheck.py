@@ -87,6 +87,21 @@ class TestSourceTreeClean:
         for rule in (SecretDependentBranch, InterproceduralSecretFlow):
             assert any("obs" in marker for marker in rule.path_markers)
 
+    def test_serve_shard_tier_is_covered(self):
+        # The sharded serving tier ships pool-worker code, so the
+        # cross-process determinism rule must have it in scope and find
+        # nothing: workers re-derive everything from the picklable spec.
+        serve = os.path.join(SRC, "serve")
+        result = lint_paths([serve])
+        assert result.files_checked >= 7
+        assert result.findings == []
+        names = {name for name in os.listdir(serve) if name.endswith(".py")}
+        for module in ("shard.py", "router.py"):
+            assert module in names
+        from repro.lint.rules.det003 import CrossProcessDeterminism
+        assert any("serve" in marker
+                   for marker in CrossProcessDeterminism.path_markers)
+
     def test_suppressions_stay_bounded(self, src_result):
         # Every suppression is a recorded debt with a justification; a
         # jump in this number means someone is silencing the linter

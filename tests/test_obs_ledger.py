@@ -138,7 +138,31 @@ class TestResolveLedger:
         assert resolve_ledger().path.endswith("env.jsonl")
         monkeypatch.setenv(LEDGER_DISABLE_ENV, "1")
         assert resolve_ledger() is None
-        assert resolve_ledger(str(tmp_path / "x.jsonl")) is None
+
+    def test_explicit_path_overrides_disable_env(self, tmp_path,
+                                                 monkeypatch, capsys):
+        """An explicit ``--ledger FILE`` beats ambient REPRO_NO_LEDGER.
+
+        The env var is a blanket default for *implicit* ledger
+        resolution; a user naming a file on the command line asked for
+        that file.  The override is announced on stderr so the ambient
+        setting is not silently ignored.
+        """
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        monkeypatch.setenv(LEDGER_DISABLE_ENV, "1")
+        ledger = resolve_ledger(str(tmp_path / "x.jsonl"))
+        assert ledger is not None
+        assert ledger.path.endswith("x.jsonl")
+        captured = capsys.readouterr()
+        assert LEDGER_DISABLE_ENV in captured.err
+        assert "overrides" in captured.err
+
+    def test_no_warning_without_disable_env(self, tmp_path, monkeypatch,
+                                            capsys):
+        monkeypatch.delenv(LEDGER_ENV, raising=False)
+        monkeypatch.delenv(LEDGER_DISABLE_ENV, raising=False)
+        assert resolve_ledger(str(tmp_path / "y.jsonl")) is not None
+        assert capsys.readouterr().err == ""
 
     def test_nothing_configured_is_none(self, monkeypatch):
         monkeypatch.delenv(LEDGER_ENV, raising=False)

@@ -67,12 +67,13 @@ class TestSerialFallback:
     def test_pool_failure_degrades_to_serial(self, serial_outcome,
                                              monkeypatch):
         sweep_module.shutdown_pools()  # a live warm pool would bypass the patch
-        monkeypatch.setattr(sweep_module, "_make_pool", lambda jobs: None)
+        monkeypatch.setattr(sweep_module, "_make_pool",
+                            lambda jobs, **kwargs: None)
         fallback = run_sweep(list(POINTS), jobs=4)
         assert result_bytes(fallback) == result_bytes(serial_outcome)
 
     def test_jobs_one_never_builds_a_pool(self, monkeypatch):
-        def boom(jobs):
+        def boom(jobs, **kwargs):
             raise AssertionError("jobs=1 must not construct a pool")
         sweep_module.shutdown_pools()
         monkeypatch.setattr(sweep_module, "_make_pool", boom)
@@ -86,9 +87,9 @@ class TestWarmPools:
         builds = []
         real = sweep_module.make_pool
 
-        def counting(jobs):
+        def counting(jobs, **kwargs):
             builds.append(jobs)
-            return real(jobs)
+            return real(jobs, **kwargs)
 
         monkeypatch.setattr(sweep_module, "_make_pool", counting)
         first = run_sweep(list(POINTS), jobs=2)
@@ -103,6 +104,47 @@ class TestWarmPools:
         warm = run_sweep(list(POINTS), jobs=2)
         assert result_bytes(warm) == result_bytes(serial_outcome)
         sweep_module.shutdown_pools()
+
+    def test_env_switch_toggle_reaches_warm_pool_workers(self, monkeypatch):
+        """A/B switches must not go stale inside a reused warm pool.
+
+        The switches (``REPRO_DISABLE_FASTPATH`` & co) are read once at
+        import, so a forked worker inherits whatever they were when the
+        pool was built.  Pools are therefore keyed on the env snapshot
+        and re-initialized per signature — two sweeps with the switch
+        toggled in between must see different fastpath behaviour even
+        though both ran at the same ``jobs`` on warm pools.
+        """
+        sweep_module.shutdown_pools()
+        monkeypatch.delenv("REPRO_DISABLE_FASTPATH", raising=False)
+        points = list(POINTS[:2])
+        enabled = run_sweep(points, jobs=2)
+        monkeypatch.setenv("REPRO_DISABLE_FASTPATH", "1")
+        disabled = run_sweep(points, jobs=2)
+        sweep_module.shutdown_pools()
+        for entry in enabled.results:
+            assert entry.result.extras["fastpath_hit_rate"] == 1.0
+        for entry in disabled.results:
+            assert entry.result.extras["fastpath_hit_rate"] == 0.0
+        # the cycle observables themselves are switch-invariant
+        assert ([entry.result.execution_cycles
+                 for entry in enabled.results] ==
+                [entry.result.execution_cycles
+                 for entry in disabled.results])
+
+    def test_warm_pools_are_keyed_on_env_signature(self, monkeypatch):
+        sweep_module.shutdown_pools()
+        monkeypatch.delenv("REPRO_DISABLE_FASTPATH", raising=False)
+        run_sweep(list(POINTS[:2]), jobs=2)
+        keys_before = set(sweep_module._WARM_POOLS)
+        monkeypatch.setenv("REPRO_DISABLE_FASTPATH", "1")
+        run_sweep(list(POINTS[:2]), jobs=2)
+        keys_after = set(sweep_module._WARM_POOLS)
+        sweep_module.shutdown_pools()
+        assert len(keys_before) == 1 and len(keys_after) == 1
+        # the stale same-jobs pool was replaced, not kept alongside
+        assert keys_before != keys_after
+        assert next(iter(keys_before))[0] == next(iter(keys_after))[0] == 2
 
     def test_discard_pool_recovers_after_worker_error(self, monkeypatch):
         sweep_module.shutdown_pools()

@@ -96,6 +96,34 @@ class TestRunServe:
         assert comparison["predicted_full_probability"] == pytest.approx(
             mm1k_full_probability(comparison["rho"], spec.capacity))
 
+    def test_zero_rate_render_and_comparison_survive(self):
+        """A legitimately idle point renders and compares without error."""
+        from repro.serve.slo import render_table
+
+        report = run_serve(ServeSpec(rate=0.0, requests=0, **{
+            key: value for key, value in SMALL.items()
+            if key != "requests"}))
+        table = render_table([report], title="idle")
+        assert "idle" in table and "0.0000" in table
+        comparison = compare_with_model(report)
+        assert comparison["rho"] == 0.0
+        assert comparison["measured_shed_rate"] == 0.0
+
+    def test_compare_with_model_keeps_zero_rho_offered(self):
+        """``rho_offered == 0.0`` is a measurement, not a missing field.
+
+        Regression pin for the ``or``-fallback bug: a report with a
+        legitimate zero offered rho must NOT silently swap in the
+        measured utilization — only an absent field falls back.
+        """
+        zero = {"model": {"rho_offered": 0.0, "rho_measured": 0.7,
+                          "mm1k_full_probability": 0.0, "shed_rate": 0.0}}
+        assert compare_with_model(zero)["rho"] == 0.0
+        absent = {"model": {"rho_measured": 0.7,
+                            "mm1k_full_probability": 0.0,
+                            "shed_rate": 0.0}}
+        assert compare_with_model(absent)["rho"] == 0.7
+
     def test_coalescing_preserves_read_bytes(self):
         """Batched (coalescing) and serial (no coalescing) runs of the
         same hot-set stream return identical bytes to every read."""

@@ -105,6 +105,31 @@ class TestBoundedAdmission:
         assert payload["sequence"] == record.sequence
         assert payload["arrival"] == 0
 
+    def test_exact_fill_reaches_the_bound_without_shedding(self):
+        """K queued requests is full-but-legal: depth == K, zero shed."""
+        capacity = 4
+        outcome = run(self.burst(capacity + 1), capacity=capacity, batch=1)
+        assert outcome.shed == []
+        assert outcome.peak_depth == capacity
+        assert outcome.admitted == capacity + 1
+
+    def test_first_shed_happens_exactly_at_the_bound(self):
+        capacity = 4
+        outcome = run(self.burst(capacity + 2), capacity=capacity, batch=1)
+        assert len(outcome.shed) == 1
+        record = outcome.shed[0]
+        assert record.queue_depth == capacity
+        assert record.capacity == capacity
+        assert outcome.peak_depth == capacity
+
+    def test_zero_completion_outcome_summarizes_safely(self):
+        """Empty runs must render: every quantile key present, zeroed."""
+        outcome = run([])
+        summary = outcome.sojourn.summary()
+        for key in ("count", "mean", "max", "p50", "p95", "p99", "p999"):
+            assert summary[key] == 0
+        assert outcome.per_tenant == {}
+
     def test_under_load_nothing_is_shed(self):
         # arrivals spaced wider than the 10-tick service time
         requests = [read(20 * i, i, i) for i in range(10)]
