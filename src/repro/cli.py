@@ -303,7 +303,10 @@ def cmd_serve_bench(args) -> int:
                        tenants=args.tenants, arrival=args.arrival,
                        zipf_exponent=args.zipf,
                        write_fraction=args.write_fraction,
-                       profile=args.profile, seed=args.seed)
+                       profile=args.profile, seed=args.seed,
+                       adapt=args.adapt, slo_p99=args.slo_target,
+                       window_ticks=args.window_ticks,
+                       declassified=tuple(args.declassify or ()))
              for design in designs for rate in rates]
     meta: List[dict] = []
     reports = run_serve_sweep(specs, jobs=args.jobs,
@@ -334,6 +337,19 @@ def cmd_serve_bench(args) -> int:
             block = [report for report in reports
                      if report["spec"]["design"] == design]
             print(render_table(block, title=design))
+        for report in reports:
+            control = report.get("control")
+            if not control:
+                continue
+            spec = report["spec"]
+            final = control["final"]
+            print(f"  control[{spec['design']} rate={spec['rate']}]: "
+                  f"{len(control['decisions'])} decisions, "
+                  f"{control['applied']} applied over "
+                  f"{control['windows']} windows; final "
+                  f"batch={final.get('batch')} limit={final.get('limit')}"
+                  + (f" modes={final['modes']}" if "modes" in final
+                     else ""))
     bounded = all(report["queue"]["depth_bounded"] for report in reports)
     print("queue depth bounded by K everywhere" if bounded
           else "queue-depth bound VIOLATED", file=sys.stderr)
@@ -366,7 +382,10 @@ def cmd_serve_sharded(args) -> int:
                        write_fraction=args.write_fraction,
                        profile=args.profile, seed=args.seed,
                        shards=args.shards, subtrees=args.subtrees,
-                       quarantined=quarantined)
+                       quarantined=quarantined,
+                       adapt=args.adapt, slo_p99=args.slo_target,
+                       window_ticks=args.window_ticks,
+                       declassified=tuple(args.declassify or ()))
              for rate in rates]
     meta: List[dict] = []
     reports = run_sharded_sweep(specs, jobs=args.jobs,
@@ -417,6 +436,12 @@ def cmd_serve_sharded(args) -> int:
                   f"moves ({migration['migration_fraction']:.1%}, "
                   f"expected {migration['expected_migration_fraction']:.1%}"
                   f"), {migration['overflows']} overflows")
+            control = report.get("control")
+            if control:
+                finals = (control.get("migration") or {}).get("final", {})
+                print(f"  control: {control['decisions']} decisions, "
+                      f"{control['applied']} applied (shards + migration); "
+                      f"final drain p per shard {finals}")
     bounded = all(report["queue"]["depth_bounded"] for report in reports)
     print("queue depth bounded by K on every shard" if bounded
           else "queue-depth bound VIOLATED", file=sys.stderr)
@@ -739,6 +764,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "(default: $REPRO_LEDGER; "
                               "REPRO_NO_LEDGER=1 disables)")
 
+    def adaptive_opts(sub):
+        sub.add_argument("--adapt", action="store_true",
+                         help="close the loop: admission/batch (and, with "
+                              "--declassify, morph) controllers re-plan at "
+                              "every window boundary; decisions ride in "
+                              "the report's control section")
+        sub.add_argument("--slo-target", type=int, default=0,
+                         metavar="TICKS",
+                         help="p99 sojourn target the admission controller "
+                              "steers toward (0 = default)")
+        sub.add_argument("--window-ticks", type=int, default=0,
+                         metavar="TICKS",
+                         help="control window length in ticks "
+                              "(0 = default)")
+        sub.add_argument("--declassify", action="append", default=None,
+                         metavar="TENANT",
+                         help="allow TENANT to morph into non-secure mode "
+                              "under sustained load (repeatable; "
+                              "requires --adapt)")
+
     simulate = subparsers.add_parser(
         "simulate", help="run one design on one workload")
     simulate.add_argument("design", type=_design)
@@ -889,6 +934,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(byte-identical across --jobs and replays)")
     serve.add_argument("--json", action="store_true",
                        help="emit machine-readable reports on stdout")
+    adaptive_opts(serve)
     concurrency(serve)
     ledger_opt(serve)
     serve.set_defaults(handler=cmd_serve_bench)
@@ -940,6 +986,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "(byte-identical across --jobs and replays)")
     sharded.add_argument("--json", action="store_true",
                          help="emit machine-readable reports on stdout")
+    adaptive_opts(sharded)
     concurrency(sharded)
     ledger_opt(sharded)
     sharded.set_defaults(handler=cmd_serve_sharded)

@@ -1,0 +1,100 @@
+"""Feedback control of the scheduler's admission depth and batch size.
+
+The :class:`~repro.serve.scheduler.BatchingScheduler` has two knobs: how
+many requests may wait (admission limit, bounded by the configured
+capacity K) and how many drain per batch.  The controller steers the
+window p99 sojourn toward an SLO target using only public aggregates —
+the window's p99, its shed count, and the queue depth at the boundary —
+with monotone, clamped moves:
+
+* over SLO: grow the batch (amortize per-batch protocol cost) until the
+  batch cap, then shrink the admission limit (shed earlier instead of
+  queueing deeper);
+* under half the SLO with sheds: re-open admission toward K;
+* under half the SLO with a drained queue: shrink the batch back down;
+* inside the [SLO/2, SLO] deadband: do nothing.
+
+On a constant signal every move is monotone toward a clamp, so the
+controller reaches a fixed point and stays there — the no-oscillation
+property the hypothesis suite checks.  The admission limit never
+exceeds the configured K, so the queue-bound invariant depth <= K holds
+under any decision sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.control.decisions import ControlDecision, Scalar
+
+
+class AdmissionController:
+    """SLO-tracking controller for batch size and admission limit."""
+
+    def __init__(self, slo_p99: int, queue_capacity: int,
+                 batch_size: int = 1, batch_cap: int = 0,
+                 name: str = "admission"):
+        if slo_p99 < 1:
+            raise ValueError("SLO target must be positive")
+        if queue_capacity < 1:
+            raise ValueError("admission queue needs capacity >= 1")
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        self.name = name
+        self.slo_p99 = slo_p99
+        self.capacity = queue_capacity
+        self.batch_cap = max(batch_size,
+                             batch_cap if batch_cap >= 1 else queue_capacity)
+        self.batch_size = min(batch_size, self.batch_cap)
+        self.admit_limit = queue_capacity
+
+    def _state(self) -> Dict[str, Scalar]:
+        return {"batch": self.batch_size, "limit": self.admit_limit}
+
+    def plan(self, window: int, tick: int, p99: Optional[int], shed: int,
+             depth: int) -> ControlDecision:
+        """One evaluation at a window boundary.
+
+        ``p99`` is the window's nearest-rank p99 sojourn (None when the
+        window finished nothing — the controller holds, it has no
+        measurement), ``shed`` the window's shed count, ``depth`` the
+        queue depth at the boundary.
+        """
+        before = self._state()
+        signal: Dict[str, Scalar] = {"p99": -1 if p99 is None else p99,
+                                     "shed": shed, "depth": depth}
+
+        def hold(reason: str) -> ControlDecision:
+            return ControlDecision(
+                controller=self.name, window=window, tick=tick,
+                signal=signal, before=before, after=dict(before),
+                applied=False, reason=reason)
+
+        def move(reason: str) -> ControlDecision:
+            after = self._state()
+            if after == before:
+                return hold("at-clamp")
+            return ControlDecision(
+                controller=self.name, window=window, tick=tick,
+                signal=signal, before=before, after=after, applied=True,
+                reason=reason)
+
+        if p99 is None:
+            return hold("no-completions")
+        if p99 > self.slo_p99:
+            if self.batch_size < self.batch_cap:
+                self.batch_size = min(self.batch_cap, self.batch_size * 2)
+                return move("over-slo:grow-batch")
+            self.admit_limit = max(1, self.admit_limit * 3 // 4)
+            return move("over-slo:tighten-admission")
+        if 2 * p99 < self.slo_p99:
+            if shed > 0 and self.admit_limit < self.capacity:
+                self.admit_limit = min(
+                    self.capacity,
+                    self.admit_limit + max(1, self.capacity // 8))
+                return move("under-slo:reopen-admission")
+            if depth <= self.batch_size and self.batch_size > 1:
+                self.batch_size = max(1, self.batch_size // 2)
+                return move("under-slo:shrink-batch")
+            return hold("under-slo:steady")
+        return hold("within-deadband")

@@ -51,8 +51,25 @@ class TransferQueue:
         self.arrivals = 0
         self.vacancy_services = 0
         self.drain_services = 0
+        #: drain accesses spent on an empty queue: the caller already paid
+        #: one dummy ``accessORAM`` for the lottery win, so the spend must
+        #: be visible in stats even though nothing dequeued
+        self.wasted_drains = 0
+        #: vacancy opportunities that found nothing waiting (also a
+        #: service opportunity — the denominator of the measured rho)
+        self.idle_vacancies = 0
         self.peak_occupancy = 0
         self.overflows = 0
+
+    def set_drain_probability(self, probability: float) -> None:
+        """Re-plan the drain lottery (the adaptive controller's knob).
+
+        Validates exactly like the constructor: a controller can never
+        push *p* outside [0, 1] through this setter.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("drain probability must be in [0, 1]")
+        self.drain_probability = probability
 
     def __len__(self) -> int:
         return len(self._queue)
@@ -85,10 +102,19 @@ class TransferQueue:
         probability is P(arrival finds the queue full), so the denominator
         of :attr:`overflow_rate` must include the arrivals that bounced.
 
+        The drain lottery is drawn for *every* arrival, before the
+        capacity check: the named RNG stream advances once per arrival
+        whether or not the push succeeds, so a run that overflowed and
+        its analytic replay (which models the bounce instead of raising)
+        stay on the same stream and replay byte-identically.  The draw
+        for a bounced arrival is discarded — the block never entered the
+        queue, so there is nothing its lottery win could drain.
+
         Raises:
             TransferQueueOverflow: if the queue is already full.
         """
         self.arrivals += 1
+        drain = self._rng.bernoulli(self.drain_probability)
         if len(self._queue) >= self.capacity:
             self.overflows += 1
             raise TransferQueueOverflow(
@@ -96,11 +122,23 @@ class TransferQueue:
                 capacity=self.capacity, occupancy=len(self._queue))
         self._queue.append(block)
         self.peak_occupancy = max(self.peak_occupancy, len(self._queue))
-        return self._rng.bernoulli(self.drain_probability)
+        return drain
 
     def service(self, via_drain: bool) -> Optional[Block]:
-        """Dequeue the oldest block (vacancy fill or drain access)."""
+        """Dequeue the oldest block (vacancy fill or drain access).
+
+        An empty-queue call is still a spent service opportunity: a drain
+        caller already performed its dummy ``accessORAM`` before asking,
+        and a vacancy caller's departure slot went unused either way.
+        Both are counted (:attr:`wasted_drains` / :attr:`idle_vacancies`)
+        so the spend is visible in stats and the measured utilization has
+        an honest denominator.
+        """
         if not self._queue:
+            if via_drain:
+                self.wasted_drains += 1
+            else:
+                self.idle_vacancies += 1
             return None
         if via_drain:
             self.drain_services += 1
@@ -128,7 +166,54 @@ class TransferQueue:
         the queue's own estimate and the analytical model can never drift
         apart.  The default arrival rate is the paper's 1/4 (one migration
         per four accesses).
+
+        This is the *configured* rho — a pure function of the current
+        :attr:`drain_probability`.  Once a controller makes *p*
+        time-varying it describes only the instantaneous setting, never
+        the run: use :meth:`measured_utilization` for what the queue
+        actually experienced.
         """
         from repro.analysis.queueing import drain_utilization
 
         return drain_utilization(self.drain_probability, arrival_rate)
+
+    @property
+    def service_opportunities(self) -> int:
+        """Every chance the queue had to dequeue, taken or not."""
+        return (self.vacancy_services + self.drain_services
+                + self.wasted_drains + self.idle_vacancies)
+
+    def measured_utilization(self) -> Optional[float]:
+        """Observed rho: the fraction of service opportunities that found
+        work — P(queue non-empty) at service instants, the M/M/1/K
+        busy-server estimator.
+
+        Unlike :meth:`utilization_estimate` this is computed from the
+        queue's own counters, so it stays honest when a controller varies
+        :attr:`drain_probability` over the run.  Returns ``None`` until
+        at least one service opportunity has been observed (there is no
+        measurement to report, and inventing one from the configured *p*
+        would repeat the bug this estimator fixes).
+        """
+        opportunities = self.service_opportunities
+        if not opportunities:
+            return None
+        return (self.vacancy_services + self.drain_services) / opportunities
+
+    def counters_dict(self) -> dict:
+        """The queue's public statistics (what reports and metrics fold).
+
+        Everything here is an aggregate count — arrival/service/overflow
+        totals and occupancy extrema — never an address, leaf, or payload.
+        The adaptive control plane restricts its inputs to this surface.
+        """
+        return {
+            "arrivals": self.arrivals,
+            "vacancy_services": self.vacancy_services,
+            "drain_services": self.drain_services,
+            "wasted_drains": self.wasted_drains,
+            "idle_vacancies": self.idle_vacancies,
+            "peak_occupancy": self.peak_occupancy,
+            "occupancy": len(self._queue),
+            "overflows": self.overflows,
+        }

@@ -12,6 +12,7 @@ the same events.
 """
 
 from repro.obs.audit import (AuditResult, LeakyLink, adversary_observations,
+                             audit_adaptive_control,
                              audit_address_streams,
                              audit_freecursive_protocol,
                              audit_indep_split_protocol,
@@ -45,7 +46,8 @@ from repro.obs.tracer import (CATEGORY_BUS, CATEGORY_CPU, CATEGORY_DRAM,
 
 __all__ = [
     "AuditResult", "LeakyLink", "adversary_observations",
-    "audit_address_streams", "audit_freecursive_protocol",
+    "audit_adaptive_control", "audit_address_streams",
+    "audit_freecursive_protocol",
     "audit_indep_split_protocol", "audit_independent_protocol",
     "audit_split_protocol", "audit_timing_design", "compare_observables",
     "run_full_audit", "scan_secret_args",

@@ -438,6 +438,140 @@ def audit_sharded_routing(addresses_a: Sequence[int],
 
 
 # ----------------------------------------------------------------------
+# Adaptive-control audit: decisions are functions of public signals only
+# ----------------------------------------------------------------------
+
+def _tainted_plane_class():
+    """The negative control's control plane, built lazily.
+
+    A buggy (or malicious) plane that lets the *addresses* of admitted
+    requests steer the controller: it stashes each window's admitted
+    addresses and folds their parity sum into the p99 signal.  Decisions
+    — and therefore batch-size/admission moves, and therefore the service
+    timeline — become functions of the secret access pattern.  The audit
+    must flag the two runs as distinguishable; that it does is the proof
+    the adaptive-control audit has teeth.
+    """
+    from repro.control.plane import ServeControlPlane
+
+    class _TaintedPlane(ServeControlPlane):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self._window_addresses = {}
+
+        def note_admitted(self, request) -> None:
+            super().note_admitted(request)
+            window = request.arrival // self.window_ticks
+            self._window_addresses.setdefault(window, []).append(
+                request.address)
+
+        def window_signal(self, index):
+            p99, shed = super().window_signal(index)
+            taint = sum(address & 1 for address
+                        in self._window_addresses.pop(index, []))
+            if taint:
+                p99 = taint if p99 is None else p99 + taint
+            return p99, shed
+
+    return _TaintedPlane
+
+
+def _drive_adaptive_run(addresses: Sequence[int], levels: int,
+                        window_ticks: int, gap_ticks: int, slo_p99: int,
+                        capacity: int, batch: int, seed: int,
+                        taint_signal: bool) -> List[Tuple]:
+    """One adaptive serving run over a fixed arrival timeline.
+
+    Arrivals sit on a fixed grid (every ``gap_ticks``) so arrival timing
+    carries no address information, and read coalescing is disabled: a
+    coalesced batch's service time depends on address *equality* within
+    the batch by construction, which is a property of the open-loop
+    scheduler, not of the control loop under audit here.  Two tenants
+    alternate, the second declassified, so the morph controller's
+    secure<->morphed switching is part of the audited behaviour.
+
+    The canonical observable is everything adaptation adds to what the
+    adversary already sees: the full structured decision log (controller
+    moves with their signals) plus the resulting completion and shed
+    timelines.  All of it must be a pure function of public queue
+    statistics — identical across address streams.
+    """
+    from repro.control.admission import AdmissionController
+    from repro.control.morph import MorphController
+    from repro.control.plane import ServeControlPlane
+    from repro.core.split import SplitProtocol
+    from repro.oram.path_oram import Op
+    from repro.serve.loadgen import Request
+    from repro.serve.scheduler import BatchingScheduler
+
+    plane_class = (_tainted_plane_class() if taint_signal
+                   else ServeControlPlane)
+    plane = plane_class(
+        window_ticks,
+        admission=AdmissionController(slo_p99, capacity, batch_size=batch),
+        morph=MorphController(frozenset({"t1"})))
+    protocol = SplitProtocol(levels=levels, ways=2, seed=seed,
+                             record_link=True)
+    limit = 1 << (levels - 1)
+    sequences = {"t0": 0, "t1": 0}
+    requests = []
+    for index, address in enumerate(addresses):
+        tenant = "t0" if index % 2 == 0 else "t1"
+        requests.append(Request(arrival=index * gap_ticks, tenant=tenant,
+                                sequence=sequences[tenant],
+                                address=address % limit, op=Op.READ))
+        sequences[tenant] += 1
+    scheduler = BatchingScheduler(protocol, queue_capacity=capacity,
+                                  batch_size=batch, control=plane,
+                                  coalesce=False)
+    outcome = scheduler.run(requests)
+    observable: List[Tuple] = [
+        ("decision",) + tuple(sorted(
+            (key, tuple(sorted(value.items()))
+             if isinstance(value, dict) else value)
+            for key, value in decision.to_dict().items()))
+        for decision in outcome.decisions]
+    observable.extend(("completion", record.start, record.finish)
+                      for record in outcome.completions)
+    observable.extend(("shed", record.arrival, record.queue_depth,
+                       record.capacity) for record in outcome.shed)
+    return observable
+
+
+def audit_adaptive_control(requests: int = 96, levels: int = 6,
+                           window_ticks: int = 256, gap_ticks: int = 48,
+                           slo_p99: int = 512, capacity: int = 8,
+                           batch: int = 4, seed: int = 2018,
+                           taint_signal: bool = False) -> AuditResult:
+    """Adaptation must not widen the channel: decisions stay public.
+
+    Two adaptive runs with the *same* arrival timeline and *different*
+    address streams must produce identical decision logs and identical
+    completion/shed timelines — every controller input (window p99, shed
+    count, queue depth) is a public aggregate the adversary already
+    observes, so closing the loop adds no address-dependence.
+
+    ``taint_signal`` is the negative control: it swaps in a control
+    plane whose :meth:`window_signal` folds an address-parity term into
+    the p99 the controller sees.  Decisions then differ between the
+    streams and the audit must catch it.
+    """
+    stream_a, stream_b = audit_address_streams(requests, seed=seed,
+                                               span=1 << 10)
+    observables = [
+        _drive_adaptive_run(stream, levels=levels,
+                            window_ticks=window_ticks,
+                            gap_ticks=gap_ticks, slo_p99=slo_p99,
+                            capacity=capacity, batch=batch, seed=seed,
+                            taint_signal=taint_signal)
+        for stream in (stream_a, stream_b)]
+    suffix = "+tainted-signal" if taint_signal else ""
+    return compare_observables(f"control:adaptive{suffix}",
+                               "decision+timeline",
+                               observables[0], observables[1])
+
+
+# ----------------------------------------------------------------------
 # Faulted audits (repro.faults): retries must look like re-accesses
 # ----------------------------------------------------------------------
 
@@ -575,9 +709,13 @@ def run_full_audit(misses: int = 12, accesses: int = 48,
     adversary traces.  Functional tier: the canonicalized protocol
     observables must match, and the sharded serving tier's routing
     (:func:`audit_sharded_routing`) must not be visible on the link.
-    With ``include_negative_control``, two *expected* failures are
-    audited too — the non-secure baseline and a shard-exposing routing
-    variant — each returned with the name prefix ``negative-control:``
+    The adaptive control plane is audited too
+    (:func:`audit_adaptive_control`): closing the loop must not make the
+    decision log or service timeline address-dependent.  With
+    ``include_negative_control``, three *expected* failures are audited
+    as well — the non-secure baseline, a shard-exposing routing variant,
+    and a control plane fed a secret-tainted signal — each returned with
+    the name prefix ``negative-control:``
     so callers treat distinguishability as the success condition.  With
     ``with_faults``, the faulted variants run too: the same designs under
     an identical seeded fault plan (and a fixed bus-stall schedule at the
@@ -598,6 +736,7 @@ def run_full_audit(misses: int = 12, accesses: int = 48,
         audit_split_protocol(stream_a, stream_b, seed=seed),
         audit_indep_split_protocol(stream_a, stream_b, seed=seed),
         audit_sharded_routing(stream_a, stream_b, seed=seed),
+        audit_adaptive_control(seed=seed),
     ]
     if with_faults:
         results.extend([
@@ -620,4 +759,7 @@ def run_full_audit(misses: int = 12, accesses: int = 48,
                                         expose_shard=True)
         exposed.name = f"negative-control:{exposed.name}"
         results.append(exposed)
+        tainted = audit_adaptive_control(seed=seed, taint_signal=True)
+        tainted.name = f"negative-control:{tainted.name}"
+        results.append(tainted)
     return results

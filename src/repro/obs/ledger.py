@@ -302,6 +302,9 @@ def serve_core(report: Dict[str, object],
             "utilization": report.get("service", {}).get("utilization"),
             "shed_rate": report.get("model", {}).get("shed_rate"),
             "slo": report.get("sojourn", {}).get("aggregate", {}),
+            # adaptive runs: the full decision log is digest-protected —
+            # a replay that decides differently breaks the core digest
+            "control": report.get("control"),
         },
     }
 

@@ -12,6 +12,8 @@ the sharded multi-process tier over leaf-MSB partitions
 """
 
 from repro.serve.bench import (
+    DEFAULT_SLO_P99,
+    DEFAULT_WINDOW_TICKS,
     ServeSpec,
     build_serving_protocol,
     generate_requests,
@@ -60,6 +62,8 @@ __all__ = [
     "AdmissionRejected",
     "BatchingScheduler",
     "Completion",
+    "DEFAULT_SLO_P99",
+    "DEFAULT_WINDOW_TICKS",
     "REPORT_SCHEMA",
     "Request",
     "SHARD_SCHEMA",

@@ -17,6 +17,9 @@ import json
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.control.admission import AdmissionController
+from repro.control.morph import MorphController
+from repro.control.plane import ServeControlPlane
 from repro.parallel.cache import RunCache
 from repro.parallel.fingerprint import code_fingerprint
 from repro.serve.loadgen import (TenantSpec, generate_stream,
@@ -25,6 +28,10 @@ from repro.serve.scheduler import BatchingScheduler
 from repro.serve.slo import REPORT_SCHEMA, build_report
 
 _DESIGNS = ("independent", "split", "indep-split")
+
+#: adaptive-run defaults when the spec leaves them at 0 (auto)
+DEFAULT_WINDOW_TICKS = 1024
+DEFAULT_SLO_P99 = 2048
 
 #: Key material for bench protocols (serving always encrypts on-DIMM).
 _SERVE_KEY = b"serve-bench-key"
@@ -55,8 +62,20 @@ class ServeSpec:
     blocks_per_bucket: int = 4
     block_bytes: int = 64
     stash_capacity: int = 256
+    #: close the loop: admission/batch (and, with declassified tenants,
+    #: morph) controllers re-plan at every window boundary
+    adapt: bool = False
+    #: p99 sojourn target in ticks (0 = DEFAULT_SLO_P99)
+    slo_p99: int = 0
+    #: control window length in ticks (0 = DEFAULT_WINDOW_TICKS)
+    window_ticks: int = 0
+    #: tenants the operator allows to morph into non-secure mode
+    declassified: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
+        # JSON round-trips deliver lists; the spec stays hashable
+        object.__setattr__(self, "declassified",
+                           tuple(self.declassified))
         if self.design not in _DESIGNS:
             raise ValueError(f"unknown design {self.design!r}; "
                              f"expected one of {_DESIGNS}")
@@ -72,6 +91,37 @@ class ServeSpec:
             raise ValueError("need at least one tenant")
         if self.levels < 3:
             raise ValueError("serving trees need at least 3 levels")
+        if self.slo_p99 < 0:
+            raise ValueError("SLO target must be non-negative")
+        if self.window_ticks < 0:
+            raise ValueError("control window must be non-negative")
+        if self.declassified and not self.adapt:
+            raise ValueError("declassified tenants need --adapt")
+
+    @property
+    def effective_window_ticks(self) -> int:
+        return self.window_ticks or DEFAULT_WINDOW_TICKS
+
+    @property
+    def effective_slo_p99(self) -> int:
+        return self.slo_p99 or DEFAULT_SLO_P99
+
+    def control_plane(self) -> Optional[ServeControlPlane]:
+        """The spec's adaptive control plane (None on open-loop runs).
+
+        Built fresh per run: controllers carry run state, so sharing one
+        across runs would leak decisions between replays.
+        """
+        if not self.adapt:
+            return None
+        admission = AdmissionController(self.effective_slo_p99,
+                                        self.capacity,
+                                        batch_size=self.batch)
+        morph = (MorphController(frozenset(self.declassified))
+                 if self.declassified else None)
+        return ServeControlPlane(self.effective_window_ticks,
+                                 admission=admission, morph=morph,
+                                 block_bytes=self.block_bytes)
 
     @property
     def address_limit(self) -> int:
@@ -79,7 +129,9 @@ class ServeSpec:
         return 1 << (self.levels - 1)
 
     def to_dict(self) -> Dict[str, object]:
-        return asdict(self)
+        payload = asdict(self)
+        payload["declassified"] = list(self.declassified)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, object]) -> "ServeSpec":
@@ -160,7 +212,8 @@ def run_serve(spec: ServeSpec,
     scheduler = BatchingScheduler(protocol, queue_capacity=spec.capacity,
                                   batch_size=spec.batch,
                                   keep_read_bytes=keep_read_bytes,
-                                  sample_seed=spec.seed)
+                                  sample_seed=spec.seed,
+                                  control=spec.control_plane())
     outcome = scheduler.run(requests)
     report = build_report(spec.to_dict(), outcome,
                           queue_capacity=spec.capacity,

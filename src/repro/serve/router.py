@@ -41,7 +41,9 @@ from repro.sim.stats import LatencyStats
 from repro.utils.rng import DeterministicRng
 
 #: Bump when the aggregate report layout changes (cache entries key on it).
-SHARD_SCHEMA = 1
+#: 2: adaptive-control sections, migration measured-utilization fields,
+#: drain-lottery draw-order fix in the migration replay.
+SHARD_SCHEMA = 2
 
 
 def sharded_cache_key(spec: ShardSpec,
@@ -85,7 +87,8 @@ def fold_shard_reports(spec: ShardSpec,
 
     totals = {key: sum(report["totals"][key] for report in reports)
               for key in ("offered", "admitted", "completed", "shed",
-                          "coalesced", "batches", "accesses")}
+                          "coalesced", "batches", "accesses",
+                          "plain_accesses")}
     peak_depth = max(report["queue"]["peak_depth"] for report in reports)
     busy = sum(report["service"]["busy_ticks"] for report in reports)
     elapsed = max(report["service"]["elapsed_ticks"] for report in reports)
@@ -120,6 +123,39 @@ def fold_shard_reports(spec: ShardSpec,
 
     routed = route_requests(spec, plan)
     migration = model_migrations(spec, plan, routed)
+
+    # satellite accounting: the migration queues' public counters land in
+    # the folded metrics lane so obs consumers see wasted drain spends
+    for key in ("arrivals", "vacancy_services", "drain_services",
+                "wasted_drains", "idle_vacancies", "overflows"):
+        folded_metrics.counter(f"migration/{key}").inc(sum(
+            shard_counters[key]
+            for shard_counters in migration["per_shard"].values()))
+
+    control = None
+    shard_controls = [report.get("control") for report in reports]
+    if any(shard_controls) or "control" in migration:
+        migration_control = migration.get("control") or {}
+        control = {
+            # aggregate decision counts cover every controller in the
+            # tier: per-shard admission/morph plus the migration drains
+            "decisions": sum(len(section["decisions"])
+                             for section in shard_controls if section)
+            + len(migration_control.get("decisions", ())),
+            "applied": sum(section["applied"]
+                           for section in shard_controls if section)
+            + migration_control.get("applied", 0),
+            "overhead_ticks": sum(section["overhead_ticks"]
+                                  for section in shard_controls if section),
+            "migration": migration.get("control"),
+        }
+        # the shard schedulers' own control/* counters arrive via the
+        # folded metrics dumps; only the migration controllers (which
+        # run router-side, with no per-shard registry) are added here
+        folded_metrics.counter("control/decisions").inc(
+            len(migration_control.get("decisions", ())))
+        folded_metrics.counter("control/applied").inc(
+            migration_control.get("applied", 0))
 
     degraded_reports = [report for report in reports
                         if report["degraded"]["quarantined"]]
@@ -158,6 +194,7 @@ def fold_shard_reports(spec: ShardSpec,
             "aggregate": sojourn,
             "per_tenant": per_tenant,
         },
+        "control": control,
         "migration": migration,
         "degraded": {
             "quarantined": list(spec.quarantined),

@@ -29,9 +29,12 @@ outcome, byte for byte.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
+from repro.control.decisions import ControlDecision
+from repro.control.morph import MODE_MORPHED
+from repro.control.plane import PLAIN_LINK_EVENTS, ServeControlPlane
 from repro.obs.metrics import MetricsRegistry
 from repro.oram.path_oram import Op
 from repro.serve.loadgen import Request
@@ -91,6 +94,11 @@ class SchedulerOutcome:
     per_tenant: Dict[str, LatencyStats]
     #: bytes returned per (tenant, sequence) — coalescing-correctness probe
     read_bytes: Dict[object, bytes]
+    #: adaptive-control-plane extras (empty on open-loop runs)
+    decisions: List[ControlDecision] = field(default_factory=list)
+    plain_accesses: int = 0
+    control_overhead_ticks: int = 0
+    control_payload: Optional[Dict[str, object]] = None
 
     @property
     def admitted(self) -> int:
@@ -126,7 +134,9 @@ class BatchingScheduler:
                  ticks_per_link_event: int = 1,
                  fallback_access_ticks: int = 64,
                  keep_read_bytes: bool = False,
-                 sample_seed: int = 2018):
+                 sample_seed: int = 2018,
+                 control: Optional[ServeControlPlane] = None,
+                 coalesce: bool = True):
         if queue_capacity < 1:
             raise ValueError("admission queue needs capacity >= 1")
         if batch_size < 1:
@@ -141,6 +151,8 @@ class BatchingScheduler:
         self.fallback_access_ticks = fallback_access_ticks
         self.keep_read_bytes = keep_read_bytes
         self._sample_seed = sample_seed
+        self.control = control
+        self.coalesce = coalesce
         link = getattr(protocol, "link", None)
         self._link = link if (link is not None and
                               getattr(link, "enabled", False)) else None
@@ -160,27 +172,45 @@ class BatchingScheduler:
     def _serve_batch(self, batch: List[Request]):
         """Issue a batch in arrival order, coalescing duplicate reads.
 
-        Returns ``(served, coalesced_keys, accesses)``: the bytes served
-        to every read keyed by (tenant, sequence), which of those rode a
-        batch-mate's access, and how many protocol accesses were spent.
-        A write republishes its payload into the coalescing window, so
-        later same-address reads observe it exactly as an un-coalesced
-        replay would.
+        Returns ``(served, coalesced_keys, accesses, plain)``: the bytes
+        served to every read keyed by (tenant, sequence), which of those
+        rode a batch-mate's access, how many protocol accesses were
+        spent, and how many morphed (non-secure) accesses bypassed the
+        protocol.  A write republishes its payload into the coalescing
+        window, so later same-address reads observe it exactly as an
+        un-coalesced replay would.
+
+        A request from a tenant the morph controller holds in morphed
+        mode is served from the control plane's plain overlay: no ORAM
+        access, just the two link messages of Section III-A.4, and never
+        through the coalescing window (the plain path has no access to
+        amortize and must not perturb secure batch shapes).
         """
         if self._link is not None:
             self._link.clear()
         served: Dict[object, bytes] = {}
         coalesced_keys = set()
         accesses = 0
+        plain = 0
         window: Dict[int, bytes] = {}
+        plane = self.control
+        morphing = plane is not None and plane.morph is not None
         for request in batch:
             key = (request.tenant, request.sequence)
+            if morphing and plane.mode(request.tenant) == MODE_MORPHED:
+                plain += 1
+                if request.op is Op.WRITE:
+                    plane.plain_write(request.tenant, request.address,
+                                      request.data)
+                else:
+                    served[key] = plane.plain_read(request.address)
+                continue
             if request.op is Op.WRITE:
                 self.protocol.access(request.address, Op.WRITE,
                                      request.data)
                 window[request.address] = request.data
                 accesses += 1
-            elif request.address in window:
+            elif self.coalesce and request.address in window:
                 served[key] = window[request.address]
                 coalesced_keys.add(key)
             else:
@@ -188,7 +218,10 @@ class BatchingScheduler:
                 window[request.address] = data
                 served[key] = data
                 accesses += 1
-        return served, coalesced_keys, accesses
+            if morphing:
+                plane.note_write(request.address,
+                                 window[request.address])
+        return served, coalesced_keys, accesses, plain
 
     # ------------------------------------------------------------------
 
@@ -205,6 +238,16 @@ class BatchingScheduler:
         coalesced_counter = self.metrics.counter("serve/coalesced")
         batch_counter = self.metrics.counter("serve/batches")
         access_counter = self.metrics.counter("serve/accesses")
+        plane = self.control
+        if plane is not None:
+            decision_counter = self.metrics.counter("control/decisions")
+            applied_counter = self.metrics.counter("control/applied")
+            overhead_counter = self.metrics.counter("control/overhead_ticks")
+            plain_counter = self.metrics.counter("control/plain_accesses")
+            batch_gauge = self.metrics.gauge("control/batch_size")
+            limit_gauge = self.metrics.gauge("control/admit_limit")
+            batch_gauge.set(self.batch_size)
+            limit_gauge.set(self.queue_capacity)
 
         waiting: Deque[Request] = deque()
         completions: List[Completion] = []
@@ -218,11 +261,14 @@ class BatchingScheduler:
         batches = 0
         accesses = 0
         coalesced = 0
+        plain_total = 0
         peak_depth = 0
+        overhead_seen = 0
 
         def drain_until(horizon: Optional[int]) -> None:
             """Retire batches completing before ``horizon`` (None = all)."""
             nonlocal server_free, busy_ticks, batches, accesses, coalesced
+            nonlocal plain_total
             while waiting and (horizon is None or server_free <= horizon):
                 start = max(server_free, waiting[0].arrival)
                 if horizon is not None and start > horizon:
@@ -230,9 +276,10 @@ class BatchingScheduler:
                 batch = [waiting.popleft()
                          for _ in range(min(self.batch_size, len(waiting)))]
                 depth_gauge.adjust(-len(batch))
-                served, coalesced_keys, batch_accesses = \
+                served, coalesced_keys, batch_accesses, batch_plain = \
                     self._serve_batch(batch)
-                cost = self._access_cost(batch_accesses)
+                cost = (self._access_cost(batch_accesses) + batch_plain *
+                        PLAIN_LINK_EVENTS * self.ticks_per_link_event)
                 finish = start + cost
                 for request in batch:
                     key = (request.tenant, request.sequence)
@@ -249,17 +296,63 @@ class BatchingScheduler:
                     ).record(record.sojourn)
                     if self.keep_read_bytes and key in served:
                         read_bytes[key] = served[key]
+                    if plane is not None:
+                        plane.note_completion(finish, record.sojourn)
                 busy_ticks += cost
                 batches += 1
                 accesses += batch_accesses
                 coalesced += len(coalesced_keys)
+                plain_total += batch_plain
                 batch_counter.inc()
                 access_counter.inc(batch_accesses)
                 coalesced_counter.inc(len(coalesced_keys))
+                if plane is not None and batch_plain:
+                    plain_counter.inc(batch_plain)
                 server_free = finish
+
+        def apply_control(fresh: List[ControlDecision],
+                          reclassified: List[str]) -> None:
+            """Enact freshly-flushed decisions on the live scheduler.
+
+            Admission moves retarget the knobs; a reclassified tenant's
+            dirty overlay addresses replay into the protocol as real,
+            charged write accesses (the data moves back under ORAM).
+            Controller evaluations charge their overhead to busy time.
+            """
+            nonlocal server_free, busy_ticks, accesses, overhead_seen
+            for decision in fresh:
+                decision_counter.inc()
+                if decision.applied:
+                    applied_counter.inc()
+            overhead = plane.overhead_ticks - overhead_seen
+            overhead_seen = plane.overhead_ticks
+            busy_ticks += overhead
+            overhead_counter.inc(overhead)
+            if plane.admission is not None:
+                self.batch_size = plane.admission.batch_size
+                self.queue_capacity = plane.admission.admit_limit
+                batch_gauge.set(self.batch_size)
+                limit_gauge.set(self.queue_capacity)
+            for tenant in reclassified:
+                addresses = plane.take_dirty(tenant)
+                if not addresses:
+                    continue
+                if self._link is not None:
+                    self._link.clear()
+                for address in addresses:
+                    self.protocol.access(address, Op.WRITE,
+                                         plane.overlay[address])
+                cost = self._access_cost(len(addresses))
+                busy_ticks += cost
+                server_free += cost
+                accesses += len(addresses)
+                access_counter.inc(len(addresses))
 
         for request in requests:
             drain_until(request.arrival)
+            if plane is not None:
+                apply_control(*plane.flush_until(request.arrival,
+                                                 len(waiting)))
             if len(waiting) >= self.queue_capacity:
                 record = AdmissionRejected(
                     tenant=request.tenant, sequence=request.sequence,
@@ -267,12 +360,18 @@ class BatchingScheduler:
                     capacity=self.queue_capacity)
                 shed.append(record)
                 shed_counter.inc()
+                if plane is not None:
+                    plane.note_shed(request)
                 continue
             waiting.append(request)
             admitted_counter.inc()
             depth_gauge.adjust(1)
             peak_depth = max(peak_depth, len(waiting))
+            if plane is not None:
+                plane.note_admitted(request)
         drain_until(None)
+        if plane is not None:
+            apply_control(*plane.flush_final(server_free, len(waiting)))
 
         elapsed = server_free
         if requests and not elapsed:
@@ -282,4 +381,10 @@ class BatchingScheduler:
             batches=batches, accesses=accesses, coalesced=coalesced,
             busy_ticks=busy_ticks, elapsed_ticks=elapsed,
             peak_depth=peak_depth, sojourn=sojourn,
-            per_tenant=per_tenant, read_bytes=read_bytes)
+            per_tenant=per_tenant, read_bytes=read_bytes,
+            decisions=list(plane.decisions) if plane is not None else [],
+            plain_accesses=plain_total,
+            control_overhead_ticks=(plane.overhead_ticks
+                                    if plane is not None else 0),
+            control_payload=(plane.payload()
+                             if plane is not None else None))

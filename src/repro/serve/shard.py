@@ -88,6 +88,15 @@ class ShardSpec:
     migration_drain: float = 0.05
     #: shards whose whole protocol is quarantined (degraded mode)
     quarantined: Tuple[int, ...] = field(default_factory=tuple)
+    #: close the loop per shard: admission/batch controllers on every
+    #: shard's scheduler plus a drain controller per migration queue
+    adapt: bool = False
+    #: p99 sojourn target in ticks (0 = serve-tier default)
+    slo_p99: int = 0
+    #: control window length in ticks (0 = serve-tier default)
+    window_ticks: int = 0
+    #: tenants allowed to morph into non-secure mode
+    declassified: Tuple[str, ...] = field(default_factory=tuple)
 
     def __post_init__(self) -> None:
         # delegate the shared serving-field validation to ServeSpec
@@ -109,6 +118,8 @@ class ShardSpec:
             raise ValueError("migration drain must be a probability")
         quarantined = tuple(sorted(set(int(s) for s in self.quarantined)))
         object.__setattr__(self, "quarantined", quarantined)
+        object.__setattr__(self, "declassified",
+                           tuple(self.declassified))
         for shard in quarantined:
             if not 0 <= shard < self.shards:
                 raise ValueError(f"quarantined shard {shard} out of range")
@@ -135,11 +146,14 @@ class ShardSpec:
             write_fraction=self.write_fraction, profile=self.profile,
             seed=self.seed, blocks_per_bucket=self.blocks_per_bucket,
             block_bytes=self.block_bytes,
-            stash_capacity=self.stash_capacity)
+            stash_capacity=self.stash_capacity, adapt=self.adapt,
+            slo_p99=self.slo_p99, window_ticks=self.window_ticks,
+            declassified=self.declassified)
 
     def to_dict(self) -> Dict[str, object]:
         payload = asdict(self)
         payload["quarantined"] = list(self.quarantined)
+        payload["declassified"] = list(self.declassified)
         return payload
 
     @classmethod
@@ -277,7 +291,8 @@ def run_shard(spec: ShardSpec, shard: int) -> Dict[str, object]:
     metrics.counter("shard/routed").inc(len(mine))
     scheduler = BatchingScheduler(protocol, queue_capacity=spec.capacity,
                                   batch_size=spec.batch, metrics=metrics,
-                                  sample_seed=spec.seed)
+                                  sample_seed=spec.seed,
+                                  control=base.control_plane())
     outcome = scheduler.run(mine)
     share = len(mine) / len(routed) if routed else 0.0
     shard_payload = spec.to_dict()
@@ -318,12 +333,23 @@ def model_migrations(spec: ShardSpec, plan: ShardPlan,
     serving tier reports pressure instead of crashing on it.
 
     The ``model`` sub-section carries the Figure 13 cross-checks: the
-    M/M/1/K overflow probability at the configured (p, K), and the
-    undrained first-passage probability — what the walk would have done
+    M/M/1/K overflow probability at the configured (p, K) *and* at the
+    measured busy-server utilization
+    (:meth:`~repro.core.transfer_queue.TransferQueue.measured_utilization`)
+    — the configured rho lies once a controller makes *p* time-varying,
+    so the measured estimator is the comparison of record — plus the
+    undrained first-passage probability, what the walk would have done
     with no drain at all.
+
+    With ``spec.adapt`` a :class:`~repro.control.drain.DrainController`
+    per shard re-plans its queue's *p* at every tick-window boundary
+    toward the overflow budget the open-loop configuration implies; the
+    decisions ride in the returned ``control`` sub-section.
     """
-    from repro.analysis.queueing import transfer_queue_overflow_probability
+    from repro.analysis.queueing import (mm1k_full_probability,
+                                         transfer_queue_overflow_probability)
     from repro.analysis.random_walk import first_passage_overflow_probability
+    from repro.control.drain import DrainController
     from repro.core.transfer_queue import (TransferQueue,
                                            TransferQueueOverflow)
     from repro.oram.bucket import Block
@@ -334,10 +360,39 @@ def model_migrations(spec: ShardSpec, plan: ShardPlan,
                             DeterministicRng(spec.seed,
                                              f"serve-sharded/queue/{index}"))
               for index in range(spec.shards)]
+    controllers = decisions = None
+    window_ticks = 0
+    if spec.adapt:
+        # the adaptive set-point keeps the budget the open-loop config
+        # implied; only the measured arrival fraction is tracked
+        budget = transfer_queue_overflow_probability(
+            spec.migration_drain, spec.migration_capacity)
+        controllers = [
+            DrainController(spec.migration_capacity, spec.migration_drain,
+                            overflow_budget=max(budget, 1e-12),
+                            name=f"drain/{index}")
+            for index in range(spec.shards)
+        ]
+        decisions = []
+        window_ticks = spec.base_spec().effective_window_ticks
     shares = plan.shares()
     migrations = 0
     expected = 0.0
+    offered = 0
+    next_window = 1
     for shard, request in routed:
+        if controllers is not None:
+            while next_window * window_ticks <= request.arrival:
+                for index, controller in enumerate(controllers):
+                    decision = controller.plan(
+                        next_window - 1, next_window * window_ticks,
+                        queues[index].arrivals, offered)
+                    decisions.append(decision)
+                    if decision.applied:
+                        queues[index].set_drain_probability(
+                            decision.after["p"])
+                next_window += 1
+        offered += 1
         expected += 1.0 - shares[shard]
         fresh = remap.randrange(spec.address_limit)
         destination = plan.shard_of_address(fresh)
@@ -357,7 +412,11 @@ def model_migrations(spec: ShardSpec, plan: ShardPlan,
     accesses = len(routed)
     overflows = sum(queue.overflows for queue in queues)
     arrivals = sum(queue.arrivals for queue in queues)
-    return {
+    taken = sum(queue.vacancy_services + queue.drain_services
+                for queue in queues)
+    opportunities = sum(queue.service_opportunities for queue in queues)
+    measured_rho = taken / opportunities if opportunities else None
+    payload = {
         "capacity": spec.migration_capacity,
         "drain_probability": round(spec.migration_drain, 9),
         "accesses": accesses,
@@ -368,22 +427,39 @@ def model_migrations(spec: ShardSpec, plan: ShardPlan,
         if accesses else 0.0,
         "overflows": overflows,
         "overflow_rate": round(overflows / arrivals, 9) if arrivals else 0.0,
+        "measured_utilization": (round(measured_rho, 9)
+                                 if measured_rho is not None else None),
         "per_shard": {
-            str(index): {
-                "arrivals": queue.arrivals,
-                "vacancy_services": queue.vacancy_services,
-                "drain_services": queue.drain_services,
-                "peak_occupancy": queue.peak_occupancy,
-                "overflows": queue.overflows,
-            }
+            str(index): dict(
+                queue.counters_dict(),
+                measured_utilization=(
+                    round(queue.measured_utilization(), 9)
+                    if queue.measured_utilization() is not None else None),
+                drain_probability=round(queue.drain_probability, 9),
+            )
             for index, queue in enumerate(queues)
         },
         "model": {
             "mm1k_overflow_probability": round(
                 transfer_queue_overflow_probability(
                     spec.migration_drain, spec.migration_capacity), 15),
+            # the comparison of record: predicted overflow at the
+            # *measured* utilization, honest under time-varying p
+            "mm1k_overflow_at_measured": round(
+                mm1k_full_probability(measured_rho,
+                                      spec.migration_capacity), 15)
+            if measured_rho is not None else None,
             "undrained_first_passage": round(
                 first_passage_overflow_probability(
                     spec.migration_capacity, max(1, migrations)), 15),
         },
     }
+    if controllers is not None:
+        payload["control"] = {
+            "window_ticks": window_ticks,
+            "decisions": [decision.to_dict() for decision in decisions],
+            "applied": sum(1 for decision in decisions if decision.applied),
+            "final": {str(index): round(queue.drain_probability, 9)
+                      for index, queue in enumerate(queues)},
+        }
+    return payload

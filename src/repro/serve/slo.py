@@ -30,7 +30,8 @@ from repro.analysis.queueing import mm1k_full_probability
 from repro.serve.scheduler import SchedulerOutcome
 
 #: Bump when the report layout changes (cache entries key on this).
-REPORT_SCHEMA = 1
+#: 2: adaptive-control section (``control``), plain-access totals.
+REPORT_SCHEMA = 2
 
 
 def _round(value: float, digits: int = 9) -> float:
@@ -66,7 +67,9 @@ def build_report(spec_payload: Dict[str, object],
             "coalesced": outcome.coalesced,
             "batches": outcome.batches,
             "accesses": outcome.accesses,
+            "plain_accesses": outcome.plain_accesses,
         },
+        "control": outcome.control_payload,
         "queue": {
             "capacity": queue_capacity,
             "peak_depth": outcome.peak_depth,

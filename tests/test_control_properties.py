@@ -1,0 +1,215 @@
+"""Hypothesis property tests for the adaptive control plane.
+
+The controllers in :mod:`repro.control` carry hard invariants the rest
+of the system leans on: the drain set-point always lands in the valid
+lottery range [0, 1], admission moves never push the queue bound past
+the configured K, a constant signal reaches a fixed point (no
+oscillation), morphing is impossible for tenants the operator never
+declassified, and the decision log is a pure function of its inputs
+(replay stability).  Each property is checked over adversarially
+generated windows, not just the happy-path steps the integration tests
+drive.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.queueing import drain_utilization, mm1k_full_probability
+from repro.control.admission import AdmissionController
+from repro.control.decisions import decisions_payload, window_p99
+from repro.control.drain import (DrainController, setpoint_probability,
+                                 target_utilization)
+from repro.control.morph import MODE_MORPHED, MODE_SECURE, MorphController
+
+# one window's traffic: (new arrivals into the queue, offered accesses
+# that could have produced an arrival) — arrivals never exceed offered
+window_counts = st.integers(min_value=0, max_value=512).flatmap(
+    lambda offered: st.tuples(st.integers(min_value=0, max_value=offered),
+                              st.just(offered)))
+
+# one window's admission signal: (p99 sojourn or None, shed, depth)
+admission_signals = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=0, max_value=1 << 16)),
+    st.integers(min_value=0, max_value=256),
+    st.integers(min_value=0, max_value=256))
+
+
+class TestDrainSetpoint:
+    @settings(max_examples=60, deadline=None)
+    @given(rho=st.floats(min_value=1e-6, max_value=1.0,
+                         allow_nan=False, allow_infinity=False),
+           rate=st.floats(min_value=0.0, max_value=4.0,
+                          allow_nan=False, allow_infinity=False))
+    def test_setpoint_stays_a_probability(self, rho, rate):
+        probability = setpoint_probability(rho, rate)
+        assert 0.0 <= probability <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(rho=st.floats(min_value=0.05, max_value=1.0,
+                         allow_nan=False, allow_infinity=False),
+           rate=st.floats(min_value=1e-3, max_value=1.0,
+                          allow_nan=False, allow_infinity=False))
+    def test_setpoint_inverts_drain_utilization(self, rho, rate):
+        """Unclamped set-points reproduce the target rho exactly —
+        p* is the algebraic inverse of rho = lambda / (lambda + p)."""
+        probability = setpoint_probability(rho, rate)
+        if 0.0 < probability < 1.0:
+            achieved = drain_utilization(probability, arrival_rate=rate)
+            assert abs(achieved - rho) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(capacity=st.integers(min_value=1, max_value=256),
+           budget=st.floats(min_value=1e-12, max_value=0.5,
+                            allow_nan=False, allow_infinity=False))
+    def test_target_utilization_respects_budget(self, capacity, budget):
+        rho = target_utilization(capacity, budget)
+        assert 0.0 <= rho <= 1.0
+        if rho < 1.0:
+            # the bisection keeps the admissible side: overflow at the
+            # returned rho never exceeds the budget
+            assert mm1k_full_probability(rho, capacity) <= budget + 1e-9
+
+
+class TestDrainController:
+    @settings(max_examples=40, deadline=None)
+    @given(windows=st.lists(window_counts, min_size=1, max_size=24),
+           capacity=st.integers(min_value=1, max_value=128),
+           initial=st.floats(min_value=0.0, max_value=1.0,
+                             allow_nan=False, allow_infinity=False))
+    def test_probability_stays_in_unit_interval(self, windows, capacity,
+                                                initial):
+        """p in [0, 1] under arbitrary window observations."""
+        controller = DrainController(capacity, initial)
+        arrivals = offered = 0
+        for index, (arrived, seen) in enumerate(windows):
+            arrivals += arrived
+            offered += seen
+            decision = controller.plan(index, (index + 1) * 1024,
+                                       arrivals, offered)
+            assert 0.0 <= controller.probability <= 1.0
+            if decision.applied:
+                assert 0.0 <= decision.after["p"] <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(arrived=st.integers(min_value=0, max_value=64),
+           seen=st.integers(min_value=1, max_value=64),
+           capacity=st.integers(min_value=2, max_value=128))
+    def test_constant_load_converges_without_oscillation(self, arrived,
+                                                         seen, capacity):
+        """A step load is absorbed in one move; after it, every window
+        holds inside the deadband — the controller cannot oscillate."""
+        arrived = min(arrived, seen)
+        controller = DrainController(capacity, 0.5)
+        applied = []
+        for index in range(12):
+            decision = controller.plan(index, (index + 1) * 1024,
+                                       arrived * (index + 1),
+                                       seen * (index + 1))
+            applied.append(decision.applied)
+        assert sum(applied) <= 1
+        assert not any(applied[1:])
+
+
+class TestAdmissionController:
+    @settings(max_examples=40, deadline=None)
+    @given(signals=st.lists(admission_signals, min_size=1, max_size=32),
+           slo=st.integers(min_value=1, max_value=4096),
+           capacity=st.integers(min_value=1, max_value=128),
+           batch=st.integers(min_value=1, max_value=64))
+    def test_knobs_stay_clamped(self, signals, slo, capacity, batch):
+        """1 <= batch <= cap and 1 <= limit <= K under any signal."""
+        controller = AdmissionController(slo, capacity, batch_size=batch)
+        for index, (p99, shed, depth) in enumerate(signals):
+            controller.plan(index, (index + 1) * 256, p99, shed, depth)
+            assert 1 <= controller.batch_size <= controller.batch_cap
+            assert 1 <= controller.admit_limit <= capacity
+
+    @settings(max_examples=40, deadline=None)
+    @given(signal=admission_signals,
+           slo=st.integers(min_value=1, max_value=4096),
+           capacity=st.integers(min_value=1, max_value=64),
+           batch=st.integers(min_value=1, max_value=32))
+    def test_constant_signal_reaches_fixed_point(self, signal, slo,
+                                                 capacity, batch):
+        """Monotone clamped moves terminate: a constant signal stops
+        producing applied decisions, and the knobs stop changing."""
+        p99, shed, depth = signal
+        controller = AdmissionController(slo, capacity, batch_size=batch)
+        states = []
+        applied = []
+        for index in range(64):
+            decision = controller.plan(index, (index + 1) * 256,
+                                       p99, shed, depth)
+            applied.append(decision.applied)
+            states.append((controller.batch_size, controller.admit_limit))
+        assert not any(applied[-8:]), "still moving after 56 windows"
+        assert len(set(states[-8:])) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(signals=st.lists(admission_signals, min_size=1, max_size=24),
+           slo=st.integers(min_value=1, max_value=2048),
+           capacity=st.integers(min_value=1, max_value=64))
+    def test_decision_log_replays_identically(self, signals, slo, capacity):
+        """Two controllers fed the same windows emit byte-equal logs."""
+        logs = []
+        for _ in range(2):
+            controller = AdmissionController(slo, capacity)
+            decisions = [controller.plan(index, (index + 1) * 128,
+                                         p99, shed, depth)
+                         for index, (p99, shed, depth)
+                         in enumerate(signals)]
+            logs.append(decisions_payload(decisions))
+        assert logs[0] == logs[1]
+
+
+class TestMorphController:
+    @settings(max_examples=40, deadline=None)
+    @given(loads=st.lists(st.integers(min_value=0, max_value=512),
+                          min_size=1, max_size=32))
+    def test_undeclassified_tenant_never_morphs(self, loads):
+        """The declassification gate is absolute: no load sequence can
+        move a tenant outside the declassified set out of secure mode."""
+        controller = MorphController(frozenset({"other"}))
+        for index, load in enumerate(loads):
+            decision = controller.plan(index, (index + 1) * 512,
+                                       "tenant", load)
+            assert controller.mode("tenant") == MODE_SECURE
+            if decision is not None:
+                assert not decision.applied
+                assert decision.reason == "not-declassified"
+
+    @settings(max_examples=40, deadline=None)
+    @given(load=st.integers(min_value=0, max_value=64),
+           sustain=st.integers(min_value=1, max_value=4))
+    def test_constant_load_settles_in_one_flip(self, load, sustain):
+        """Hysteresis convergence: a step load flips the mode at most
+        once, and only after ``sustain`` qualifying windows."""
+        controller = MorphController(frozenset({"t"}), high_watermark=8,
+                                     low_watermark=2, sustain=sustain)
+        flips = []
+        for index in range(sustain * 3 + 4):
+            decision = controller.plan(index, (index + 1) * 512, "t", load)
+            if decision is not None and decision.applied:
+                flips.append((index, decision.after["mode"]))
+        if load >= 8:
+            assert flips == [(sustain - 1, MODE_MORPHED)]
+        else:
+            assert flips == []
+
+
+class TestWindowP99:
+    @settings(max_examples=40, deadline=None)
+    @given(sojourns=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                             min_size=1, max_size=256))
+    def test_p99_is_an_order_statistic(self, sojourns):
+        value = window_p99(sojourns)
+        ordered = sorted(sojourns)
+        assert value in sojourns
+        # nearest-rank p99 sits in the top 1% plus one slot
+        assert sum(1 for s in ordered if s > value) <= len(ordered) // 100
+
+    @settings(max_examples=20, deadline=None)
+    @given(sojourns=st.lists(st.integers(min_value=0, max_value=1 << 20),
+                             min_size=1, max_size=64))
+    def test_p99_is_permutation_invariant(self, sojourns):
+        assert window_p99(sojourns) == window_p99(list(reversed(sojourns)))

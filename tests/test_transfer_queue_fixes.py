@@ -1,0 +1,160 @@
+"""Regression tests for the ISSUE-10 transfer-queue bugfix sweep.
+
+Each test here failed before its fix landed:
+
+* ``wasted_drains`` — a drain-lottery win on an empty queue spends a
+  dummy ``accessORAM`` in the caller; pre-fix the spend left no trace in
+  any counter.
+* ``measured_utilization`` — pre-fix the only utilization the queue
+  reported was the *configured* rho from ``drain_probability``, which
+  silently lies once a controller makes *p* time-varying.
+* push-order determinism — pre-fix the drain lottery was skipped for an
+  overflowed arrival, desynchronizing the named RNG stream between a run
+  that overflowed and its analytic replay.
+"""
+
+import pytest
+
+from repro.analysis.queueing import drain_utilization
+from repro.core.transfer_queue import TransferQueue, TransferQueueOverflow
+from repro.oram.bucket import Block
+from repro.utils.rng import DeterministicRng
+
+
+def make_queue(capacity=8, p=0.0, seed=1):
+    return TransferQueue(capacity, p, DeterministicRng(seed, "tq"))
+
+
+def block(address, leaf=0):
+    return Block(address, leaf, bytes(16))
+
+
+class TestWastedDrainAccounting:
+    def test_empty_drain_counts_wasted(self):
+        """The dummy accessORAM spent on an empty queue must be visible."""
+        queue = make_queue()
+        assert queue.service(via_drain=True) is None
+        assert queue.wasted_drains == 1
+        assert queue.drain_services == 0
+
+    def test_empty_vacancy_counts_idle(self):
+        queue = make_queue()
+        assert queue.service(via_drain=False) is None
+        assert queue.idle_vacancies == 1
+        assert queue.vacancy_services == 0
+
+    def test_successful_services_untouched(self):
+        queue = make_queue()
+        queue.push(block(1))
+        queue.push(block(2))
+        queue.service(via_drain=True)
+        queue.service(via_drain=False)
+        assert queue.wasted_drains == 0
+        assert queue.idle_vacancies == 0
+        assert queue.drain_services == 1
+        assert queue.vacancy_services == 1
+
+    def test_counters_dict_carries_the_new_fields(self):
+        queue = make_queue()
+        queue.service(via_drain=True)
+        queue.service(via_drain=False)
+        counters = queue.counters_dict()
+        assert counters["wasted_drains"] == 1
+        assert counters["idle_vacancies"] == 1
+        assert counters["occupancy"] == 0
+
+
+class TestMeasuredUtilization:
+    def test_no_opportunities_reports_none(self):
+        """No measurement yet: do not invent one from the configured p."""
+        assert make_queue(p=0.3).measured_utilization() is None
+
+    def test_busy_fraction_of_opportunities(self):
+        queue = make_queue(capacity=8, p=0.0)
+        queue.push(block(1))
+        queue.push(block(2))
+        queue.service(via_drain=True)    # found work
+        queue.service(via_drain=False)   # found work
+        queue.service(via_drain=True)    # empty: wasted
+        queue.service(via_drain=False)   # empty: idle
+        assert queue.measured_utilization() == pytest.approx(0.5)
+
+    def test_configured_estimate_lies_under_time_varying_p(self):
+        """The regression: an adapted run must not report the stale
+        configured rho as its measurement.
+
+        Drive the queue busy under one p, then re-plan p mid-run.  The
+        configured estimate jumps to the new set-point and forgets the
+        run's history; the measured estimator keeps describing what was
+        observed.  Pre-fix only the configured number existed.
+        """
+        queue = make_queue(capacity=8, p=0.05)
+        for index in range(4):
+            queue.push(block(index))
+            queue.service(via_drain=True)
+        before = queue.measured_utilization()
+        assert before == pytest.approx(1.0)  # every opportunity found work
+
+        queue.set_drain_probability(0.75)    # the controller re-plans
+        assert queue.utilization_estimate() == pytest.approx(
+            drain_utilization(0.75))
+        # the configured estimate changed with no new observations; the
+        # measured one did not — they are different quantities
+        assert queue.measured_utilization() == before
+        assert queue.measured_utilization() != pytest.approx(
+            queue.utilization_estimate())
+
+    def test_setter_validates_range(self):
+        queue = make_queue()
+        with pytest.raises(ValueError):
+            queue.set_drain_probability(1.5)
+        with pytest.raises(ValueError):
+            queue.set_drain_probability(-0.1)
+
+
+class TestOverflowPreservesLotteryStream:
+    def test_rng_stream_advances_once_per_arrival(self):
+        """A run that overflowed and its analytic replay must stay on the
+        same named RNG stream.
+
+        Both queues share a seed; the small one bounces arrivals the big
+        one absorbs.  After the same arrival count the underlying streams
+        must have advanced identically — pre-fix the overflowed queue
+        skipped the lottery draw for every bounced arrival, so the next
+        draw diverged.
+        """
+        overflowing = TransferQueue(1, 0.5, DeterministicRng(7, "tq"))
+        replay = TransferQueue(64, 0.5, DeterministicRng(7, "tq"))
+        for index in range(12):
+            try:
+                overflowing.push(block(index))
+            except TransferQueueOverflow:
+                pass
+            replay.push(block(index))
+        assert overflowing.overflows > 0
+        # the queues saw the same arrivals, so the streams must align:
+        # the next raw draw from each is identical
+        assert overflowing._rng.random() == replay._rng.random()
+
+    def test_bounced_arrival_draw_is_discarded(self):
+        """A lottery win on a bounced arrival drains nothing — the block
+        never entered the queue."""
+        queue = TransferQueue(1, 1.0, DeterministicRng(3, "tq"))
+        assert queue.push(block(0)) is True
+        with pytest.raises(TransferQueueOverflow):
+            queue.push(block(1))
+        # the bounce consumed a draw but triggered no service; the queue
+        # still holds exactly the first block
+        assert len(queue) == 1
+        assert queue.drain_services == 0
+
+    def test_no_overflow_runs_unchanged(self):
+        """Draw-before-check is invisible to runs that never overflow:
+        one draw per successful arrival, exactly as before the fix."""
+        queue = make_queue(capacity=100, p=0.3, seed=5)
+        triggers = 0
+        for index in range(5000):
+            triggers += queue.push(block(index))
+            queue.service(via_drain=False)
+        assert queue.overflows == 0
+        assert 0.25 < triggers / 5000 < 0.35
